@@ -1,0 +1,63 @@
+// Fig. 10: side-channel attack on PiM-accelerated read mapping — leakage
+// throughput and error rate across DRAM bank counts (1024 - 8192).
+//
+// Reproduced shape: throughput falls and the error rate rises as the
+// attacker must sweep more banks (paper: 7.57 Mb/s, <5% error at 1024
+// banks -> 2.56 Mb/s, <15% at 8192), while each observation becomes more
+// precise (fewer hash-table entries per bank, §5.4).
+#include <cstdio>
+#include <memory>
+
+#include "attacks/side_channel.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace impact;
+  std::printf("=== bench_fig10: read-mapping side channel vs bank count "
+              "===\n\n");
+
+  util::Table table({"banks", "probe throughput (Mb/s)", "error rate",
+                     "event capture (Mb/s)", "capture rate",
+                     "buckets/hit", "bits/observation"});
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (const auto dir = util::CsvWriter::results_dir_from_env()) {
+    csv = std::make_unique<util::CsvWriter>(
+        *dir, "fig10",
+        std::vector<std::string>{"banks", "probe_mbps", "error_rate",
+                                 "capture_mbps", "capture_rate",
+                                 "bits_per_observation"});
+  }
+  for (const std::uint32_t banks : {1024u, 2048u, 4096u, 8192u}) {
+    attacks::SideChannelConfig config;
+    config.banks = banks;
+    attacks::ReadMappingSpy spy(config);
+    const auto r = spy.run();
+    if (csv) {
+      csv->add_row({std::to_string(banks),
+                    util::Table::num(r.probes.throughput_mbps(2.6), 4),
+                    util::Table::num(r.probes.error_rate(), 5),
+                    util::Table::num(r.capture_throughput_mbps(2.6), 4),
+                    util::Table::num(r.capture_rate(), 5),
+                    util::Table::num(r.precision.bits_per_observation, 2)});
+    }
+    table.add_row(
+        {std::to_string(banks),
+         util::Table::num(r.probes.throughput_mbps(2.6)),
+         util::Table::num(100.0 * r.probes.error_rate(), 2) + "%",
+         util::Table::num(r.capture_throughput_mbps(2.6)),
+         util::Table::num(100.0 * r.capture_rate(), 1) + "%",
+         std::to_string(r.precision.entries_per_bank),
+         util::Table::num(r.precision.bits_per_observation, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper: 7.57 Mb/s @ <5%% error (1024 banks) degrading to 2.56 Mb/s @\n"
+      "<15%% error (8192 banks); precision per observation improves with\n"
+      "bank count. Probe-decision metrics reproduce the error trend; the\n"
+      "event-capture metric reproduces the throughput decline (the\n"
+      "attacker's sweep resolution collapses multiple victim accesses per\n"
+      "bank window into one observation).\n");
+  return 0;
+}

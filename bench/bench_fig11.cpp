@@ -1,0 +1,56 @@
+// Fig. 11: performance overhead of the closed-row (CRP) and constant-time
+// (CTD) defenses versus the open-row baseline, on five multiprogrammed
+// graph workloads sharing their input graph (2-core system).
+//
+// Paper: CTD costs 26% on average, CRP 15%, with CRP cheap on the
+// workloads that do not benefit from the open-row policy.
+#include <cstdio>
+#include <vector>
+
+#include "graph/multiprog.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace impact;
+  std::printf("=== bench_fig11: defense overheads (CRP / CTD vs open row) "
+              "===\n");
+  std::printf("2 cores, shared RMAT input, hierarchy+input scaled 256x\n\n");
+
+  graph::MultiprogConfig config;
+  util::Table table({"workload", "MPKI", "row-hit rate", "open-row (cyc)",
+                     "CRP overhead", "CTD overhead",
+                     "adaptive overhead (ext.)"});
+  double crp_sum = 0.0;
+  double ctd_sum = 0.0;
+  double adp_sum = 0.0;
+  int n = 0;
+  for (const auto kind : graph::kAllWorkloads) {
+    const auto r = graph::evaluate_defenses(config, kind);
+    const auto adaptive = graph::run_multiprogrammed(
+        config, kind, dram::RowPolicy::kAdaptive);
+    const double adp_overhead =
+        static_cast<double>(adaptive.cycles) / r.open_row.cycles - 1.0;
+    crp_sum += r.crp_overhead();
+    ctd_sum += r.ctd_overhead();
+    adp_sum += adp_overhead;
+    ++n;
+    table.add_row({to_string(kind), util::Table::num(r.open_row.mpki()),
+                   util::Table::num(r.open_row.row_hit_rate),
+                   util::Table::num(r.open_row.cycles, 0),
+                   util::Table::num(100.0 * r.crp_overhead(), 1) + "%",
+                   util::Table::num(100.0 * r.ctd_overhead(), 1) + "%",
+                   util::Table::num(100.0 * adp_overhead, 1) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "average: CRP %.1f%% (paper 15%%), CTD %.1f%% (paper 26%%), "
+      "adaptive %.1f%% (extension)\n"
+      "The adaptive open-page policy costs about as much as CRP on these\n"
+      "conflict-heavy workloads and pushes the naive covert channel to\n"
+      "near-chance error (test_defense AdaptivePolicy tests) — but unlike\n"
+      "CRP it keeps benign streaming hits, and unlike CRP its guarantee is\n"
+      "heuristic: an attacker who re-trains the predictor with hit bursts\n"
+      "can partially reopen the channel.\n",
+      100.0 * crp_sum / n, 100.0 * ctd_sum / n, 100.0 * adp_sum / n);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Google-benchmark microbenchmarks of the simulator itself: how fast the
+// substrate executes simulated operations (useful when sizing experiments,
+// not a paper figure).
+#include <benchmark/benchmark.h>
+
+#include "attacks/impact_pnm.hpp"
+#include "cache/hierarchy.hpp"
+#include "dram/controller.hpp"
+#include "pim/pei.hpp"
+#include "sys/system.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace impact;
+
+void BM_DramAccess(benchmark::State& state) {
+  dram::DramConfig config;
+  dram::MemoryController mc(config);
+  util::Xoshiro256 rng(1);
+  util::Cycle clock = 0;
+  for (auto _ : state) {
+    const auto addr = rng.below(config.capacity_bytes());
+    benchmark::DoNotOptimize(mc.access(addr, clock));
+    clock += 100;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  dram::DramConfig dram_config;
+  dram::MemoryController mc(dram_config);
+  cache::Hierarchy hierarchy(cache::HierarchyConfig::table2(), mc);
+  util::Xoshiro256 rng(2);
+  util::Cycle clock = 0;
+  const std::uint64_t ws = 64ull << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy.access(rng.below(ws), clock));
+    clock += 20;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_PeiExecute(benchmark::State& state) {
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  const auto span = system.vmem().map_row(1, 0, 10);
+  system.warm_span(1, span);
+  pim::PeiDispatcher pei(pim::PeiConfig{}, system, 1);
+  util::Cycle clock = 0;
+  for (auto _ : state) {
+    const auto col = pei.next_bypass_column(8192, 64);
+    benchmark::DoNotOptimize(pei.execute(span.vaddr + col, clock));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PeiExecute);
+
+void BM_CovertChannelBit(benchmark::State& state) {
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  attacks::ImpactPnm attack(system);
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const auto msg = util::BitVec::random(16, rng);
+    benchmark::DoNotOptimize(attack.transmit(msg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 16));
+}
+BENCHMARK(BM_CovertChannelBit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Defense evaluation demo (§6, Fig. 11): overhead of the closed-row and
+// constant-time policies versus the baseline open-row policy on
+// multiprogrammed graph workloads.
+//
+//   $ ./defense_tradeoffs
+#include <cstdio>
+#include <vector>
+
+#include "graph/multiprog.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace impact;
+
+  graph::MultiprogConfig config;  // Scaled Fig. 11 configuration.
+
+  util::Table table({"workload", "MPKI", "row-hit-rate", "CRP overhead",
+                     "CTD overhead"});
+  std::vector<double> crp;
+  std::vector<double> ctd;
+  for (const auto kind : graph::kAllWorkloads) {
+    const auto r = graph::evaluate_defenses(config, kind);
+    crp.push_back(r.crp_overhead());
+    ctd.push_back(r.ctd_overhead());
+    table.add_row({to_string(kind), util::Table::num(r.open_row.mpki()),
+                   util::Table::num(r.open_row.row_hit_rate),
+                   util::Table::num(100.0 * r.crp_overhead(), 1) + "%",
+                   util::Table::num(100.0 * r.ctd_overhead(), 1) + "%"});
+  }
+  std::printf("%s", table.render().c_str());
+  double crp_avg = 0.0;
+  double ctd_avg = 0.0;
+  for (double v : crp) crp_avg += v / crp.size();
+  for (double v : ctd) ctd_avg += v / ctd.size();
+  std::printf("\naverage overhead: CRP %.1f%%  CTD %.1f%%  "
+              "(paper: 15%% and 26%%)\n",
+              100.0 * crp_avg, 100.0 * ctd_avg);
+  return 0;
+}

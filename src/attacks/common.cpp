@@ -1,0 +1,146 @@
+#include "attacks/common.hpp"
+
+#include <algorithm>
+
+#include "sys/sync.hpp"
+#include "util/assert.hpp"
+
+namespace impact::attacks {
+
+RowBufferChannelBase::RowBufferChannelBase(sys::MemorySystem& system,
+                                           RowChannelConfig config)
+    : system_(&system), config_(config) {
+  util::check(config_.banks > 0, "RowChannelConfig: need at least one bank");
+  util::check(config_.banks <= system.controller().banks(),
+              "RowChannelConfig: more signalling banks than DRAM banks");
+  util::check(config_.batch_bits > 0,
+              "RowChannelConfig: batch must hold at least one bit");
+  util::check(config_.receiver_row != config_.sender_row,
+              "RowChannelConfig: sender and receiver rows must differ");
+}
+
+util::Cycle RowBufferChannelBase::measurement_overhead() const {
+  return system_->timestamp().measurement_overhead();
+}
+
+void RowBufferChannelBase::setup() {
+  receiver_spans_.reserve(config_.banks);
+  sender_spans_.reserve(config_.banks);
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    receiver_spans_.push_back(
+        system_->vmem().map_row(kReceiver, b, config_.receiver_row));
+    sender_spans_.push_back(
+        system_->vmem().map_row(kSender, b, config_.sender_row));
+    system_->warm_span(kReceiver, receiver_spans_.back());
+    system_->warm_span(kSender, sender_spans_.back());
+  }
+}
+
+void RowBufferChannelBase::ensure_ready() {
+  if (ready_) return;
+  ready_ = true;  // Set first: calibrate() reuses transmit().
+  setup();
+  // Step 1 of the protocol: the receiver initializes every signalling bank
+  // by activating its predetermined row (the probe primitive does exactly
+  // that). Probes are self-healing — each one re-activates the receiver's
+  // row — so this runs once per channel, not per message.
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    (void)probe(b, receiver_clock_);
+  }
+  calibrate();
+}
+
+void RowBufferChannelBase::calibrate() {
+  // Transmit a known alternating pattern and cluster the probe latencies by
+  // ground truth; the decision threshold is the cluster midpoint. This is
+  // the attacker-visible analogue of the paper's 150-cycle threshold.
+  const auto pattern = util::BitVec::alternating(config_.calibration_bits);
+  threshold_ = 0.0;  // Sentinel: transmit() skips decoding during calibration.
+  auto result = transmit(pattern);
+  channel::ThresholdCalibrator cal;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern.get(i)) {
+      cal.add_high(last_latencies_[i]);
+    } else {
+      cal.add_low(last_latencies_[i]);
+    }
+  }
+  threshold_ = cal.threshold();
+}
+
+channel::TransmissionResult RowBufferChannelBase::transmit(
+    const util::BitVec& message) {
+  ensure_ready();
+  util::check(!message.empty(), "transmit: empty message");
+
+  channel::TransmissionResult result;
+  result.sent = message;
+  result.decoded = util::BitVec(message.size());
+  last_latencies_.assign(message.size(), 0.0);
+
+  sys::SimBarrier barrier;
+  sys::SimSemaphore batches_ready;
+
+  // Synchronize the two actors' local clocks at the start of the turn.
+  barrier.sync(sender_clock_, receiver_clock_);
+  const util::Cycle start = sender_clock_;
+  const util::Cycle sender_start = sender_clock_;
+  const util::Cycle receiver_start = receiver_clock_;
+
+  const std::size_t n = message.size();
+  const std::uint32_t m = config_.batch_bits;
+  std::size_t next_receive = 0;
+  const std::uint32_t threads = std::max(1u, config_.sender_threads);
+  std::vector<util::Cycle> worker_clocks(threads, sender_clock_);
+
+  // The driver alternates sender and receiver batches in program order;
+  // simulated time still overlaps them, because the receiver's clock only
+  // advances past a semaphore post when it actually has to wait (§4.1
+  // sender/receiver latency overlap).
+  for (std::size_t base = 0; base < n; base += m) {
+    const std::size_t batch_end = std::min(n, base + m);
+    // --- Sender: transmit this batch (round-robin over threads). ------
+    for (auto& c : worker_clocks) c = std::max(c, sender_clock_);
+    for (std::size_t i = base; i < batch_end; ++i) {
+      const std::uint32_t bank =
+          static_cast<std::uint32_t>(i % config_.banks);
+      util::Cycle& clock = worker_clocks[(i - base) % threads];
+      send_bit(bank, message.get(i), clock);
+    }
+    // Join: the batch is transmitted when the slowest worker finishes.
+    sender_clock_ =
+        *std::max_element(worker_clocks.begin(), worker_clocks.end());
+    if (threads > 1) sender_clock_ += config_.join_cost;
+    sender_clock_ += config_.fence_cost;  // mfence before signalling.
+    batches_ready.post(sender_clock_);
+    if (noise_ != nullptr) noise_->advance(sender_clock_);
+
+    // --- Receiver: probe the batch the sender just signalled. ---------
+    receiver_clock_ = batches_ready.wait(receiver_clock_);
+    const std::uint32_t rthreads = std::max(1u, config_.receiver_threads);
+    std::vector<util::Cycle> probe_clocks(rthreads, receiver_clock_);
+    for (std::size_t i = next_receive; i < batch_end; ++i) {
+      const std::uint32_t bank =
+          static_cast<std::uint32_t>(i % config_.banks);
+      util::Cycle& clock = probe_clocks[(i - next_receive) % rthreads];
+      const double latency = probe(bank, clock);
+      last_latencies_[i] = latency;
+      if (threshold_ > 0.0) {
+        result.decoded.set(i, channel::decode_bit(latency, threshold_));
+      }
+    }
+    receiver_clock_ =
+        *std::max_element(probe_clocks.begin(), probe_clocks.end());
+    if (rthreads > 1) receiver_clock_ += config_.join_cost;
+    next_receive = batch_end;
+  }
+
+  result.report.elapsed_cycles =
+      std::max(sender_clock_, receiver_clock_) - start;
+  result.report.sender_cycles = sender_clock_ - sender_start;
+  result.report.receiver_cycles = receiver_clock_ - receiver_start;
+  channel::score(result);
+  return result;
+}
+
+}  // namespace impact::attacks

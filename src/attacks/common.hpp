@@ -1,0 +1,121 @@
+// Shared machinery for row-buffer covert-channel attacks.
+//
+// All single-bank-per-bit attacks (IMPACT-PnM, DRAMA-clflush,
+// DRAMA-eviction, DMA-engine, direct-access, PnM-OffChip) follow the same
+// protocol skeleton (§4.1): sender and receiver co-locate one row each in
+// every signalling bank; bits are sent in batches, 1 = activate the sender
+// row (row-buffer interference), 0 = do nothing; a semaphore overlaps the
+// sender's batch k+1 with the receiver's probing of batch k. The subclasses
+// only differ in *how* the sender activates a row and how the receiver
+// probes — i.e. in the attack primitive of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/attack.hpp"
+#include "channel/report.hpp"
+#include "channel/threshold.hpp"
+#include "sys/noise.hpp"
+#include "sys/system.hpp"
+#include "util/bitvec.hpp"
+
+namespace impact::attacks {
+
+/// Actor ids used by all attacks.
+inline constexpr dram::ActorId kSender = 1;
+inline constexpr dram::ActorId kReceiver = 2;
+inline constexpr dram::ActorId kVictim = 3;
+
+struct RowChannelConfig {
+  std::uint32_t banks = 16;       ///< Signalling banks (message width unit).
+  std::uint32_t batch_bits = 4;   ///< M, bits per synchronization batch.
+  dram::RowId receiver_row = 64;  ///< Receiver's probe row per bank.
+  dram::RowId sender_row = 96;    ///< Sender's interference row per bank.
+  std::size_t calibration_bits = 64;
+  util::Cycle sender_nop_cost = 1;
+  util::Cycle fence_cost = 20;    ///< Sender's post-batch memory fence.
+  /// Sender threads: a batch's bits are distributed round-robin over this
+  /// many cores, joining before the semaphore post. One PuM sender gets
+  /// the same bank-parallelism from a single masked RowClone that a PnM
+  /// sender needs this many threads (and PEIs) to approximate — the §4.2
+  /// "less computational resources" contrast, measurable in
+  /// bench_ablation_sweep.
+  std::uint32_t sender_threads = 1;
+  /// Receiver threads: batch probes distributed the same way (each thread
+  /// owns its own timer; decode happens after the join). The receiver is
+  /// the throughput bottleneck of every row-buffer channel, so this is
+  /// the knob that actually multiplies rate — at a proportional compute
+  /// cost (future-work territory for the paper).
+  std::uint32_t receiver_threads = 1;
+  /// Fork/join cost per batch when a side uses multiple threads.
+  util::Cycle join_cost = 20;
+};
+
+class RowBufferChannelBase : public channel::CovertAttack {
+ public:
+  RowBufferChannelBase(sys::MemorySystem& system, RowChannelConfig config);
+
+  channel::TransmissionResult transmit(const util::BitVec& message) final;
+
+  /// Calibrated decision threshold (cycles). Calibration runs lazily on
+  /// the first transmit.
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+  /// Receiver-measured latency of each bit of the last transmission
+  /// (Fig. 7 uses this for a 16-bit message).
+  [[nodiscard]] const std::vector<double>& last_latencies() const {
+    return last_latencies_;
+  }
+
+  /// Attaches a background-noise process: it is advanced alongside the
+  /// actors so its DRAM traffic interleaves with the channel's. The noise
+  /// object must outlive the attack. Pass nullptr to detach.
+  void set_noise(sys::BackgroundNoise* noise) { noise_ = noise; }
+
+ protected:
+  /// One-time setup: map per-bank rows, warm structures.
+  virtual void setup();
+
+  /// Sender-side action for one bit. Must advance `clock` by the cost of
+  /// transmitting `bit` into `bank` (a NOP for 0 unless the primitive
+  /// requires work for both values).
+  virtual void send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) = 0;
+
+  /// Receiver-side probe of `bank`: performs the timed operation and
+  /// returns the latency the attacker's timer would show. Must advance
+  /// `clock` by everything the probe costs (including measurement).
+  virtual double probe(std::uint32_t bank, util::Cycle& clock) = 0;
+
+  /// Access to per-bank spans mapped in setup().
+  [[nodiscard]] sys::VAddr receiver_addr(std::uint32_t bank) const {
+    return receiver_spans_[bank].vaddr;
+  }
+  [[nodiscard]] sys::VAddr sender_addr(std::uint32_t bank) const {
+    return sender_spans_[bank].vaddr;
+  }
+
+  sys::MemorySystem& system() { return *system_; }
+  [[nodiscard]] const RowChannelConfig& config() const { return config_; }
+
+  /// Measurement bracket cost helper (cpuid;rdtscp ... rdtscp).
+  [[nodiscard]] util::Cycle measurement_overhead() const;
+
+ private:
+  void ensure_ready();
+  void calibrate();
+
+  sys::MemorySystem* system_;
+  RowChannelConfig config_;
+  bool ready_ = false;
+  double threshold_ = 0.0;
+  std::vector<sys::VSpan> receiver_spans_;
+  std::vector<sys::VSpan> sender_spans_;
+  std::vector<double> last_latencies_;
+  sys::BackgroundNoise* noise_ = nullptr;
+  util::Cycle sender_clock_ = 0;
+  util::Cycle receiver_clock_ = 0;
+};
+
+}  // namespace impact::attacks

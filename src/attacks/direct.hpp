@@ -1,0 +1,67 @@
+// Abstract cache-bypassing attacks: the §3.3 "direct memory access attack"
+// upper bound and the DMA-engine attack (§5.1 attack (iv)).
+#pragma once
+
+#include "attacks/common.hpp"
+
+namespace impact::attacks {
+
+/// One memory request per bit, no cache lookup, no eviction: the idealized
+/// direct-access covert channel whose throughput is independent of the
+/// cache configuration (Figs. 2 and 3).
+class DirectAccess final : public RowBufferChannelBase {
+ public:
+  explicit DirectAccess(sys::MemorySystem& system, RowChannelConfig cfg = {})
+      : RowBufferChannelBase(system, cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "Direct-access"; }
+
+ protected:
+  void send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) override {
+    if (!bit) {
+      clock += config().sender_nop_cost;
+      return;
+    }
+    (void)system().direct_access(kSender, sender_addr(bank), clock);
+  }
+
+  double probe(std::uint32_t bank, util::Cycle& clock) override {
+    const auto& ts = system().timestamp();
+    const util::Cycle t0 = ts.read(clock);
+    (void)system().direct_access(kReceiver, receiver_addr(bank), clock);
+    const util::Cycle t1 = ts.read_fast(clock);
+    return static_cast<double>(t1 - t0);
+  }
+};
+
+/// Row-buffer channel over the DMA engine: cache-coherent direct memory
+/// requests, but each transfer pays the user-space driver overhead
+/// (descriptor setup, doorbell, completion). §5.1 assumes a powerful
+/// attacker who avoids context switches; the residual overhead still makes
+/// this ~2.4x slower than IMPACT-PnM (Fig. 8).
+class DmaEngine final : public RowBufferChannelBase {
+ public:
+  explicit DmaEngine(sys::MemorySystem& system, RowChannelConfig cfg = {})
+      : RowBufferChannelBase(system, cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "DMA-engine"; }
+
+ protected:
+  void send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) override {
+    if (!bit) {
+      clock += config().sender_nop_cost;
+      return;
+    }
+    (void)system().dma_access(kSender, sender_addr(bank), clock);
+  }
+
+  double probe(std::uint32_t bank, util::Cycle& clock) override {
+    const auto& ts = system().timestamp();
+    const util::Cycle t0 = ts.read(clock);
+    (void)system().dma_access(kReceiver, receiver_addr(bank), clock);
+    const util::Cycle t1 = ts.read_fast(clock);
+    return static_cast<double>(t1 - t0);
+  }
+};
+
+}  // namespace impact::attacks

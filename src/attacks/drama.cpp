@@ -1,0 +1,69 @@
+#include "attacks/drama.hpp"
+
+#include <algorithm>
+
+namespace impact::attacks {
+
+namespace {
+
+RowChannelConfig adjust(RowChannelConfig channel, DramaPrimitive primitive) {
+  if (primitive == DramaPrimitive::kEviction) {
+    // Eviction sets generate DRAM fills in many banks; running the channel
+    // through a single bank (the original DRAMA arrangement) keeps that
+    // traffic from trampling pending bits in other signalling banks. Bits
+    // are serial in this protocol anyway, so the per-bit cost is unchanged.
+    channel.banks = 1;
+    channel.batch_bits = 1;
+  }
+  return channel;
+}
+
+}  // namespace
+
+Drama::Drama(sys::MemorySystem& system, DramaConfig config)
+    : RowBufferChannelBase(system, adjust(config.channel, config.primitive)),
+      primitive_(config.primitive),
+      samples_per_bit_(std::max(1u, config.samples_per_bit)) {}
+
+void Drama::displace(dram::ActorId actor, sys::VAddr vaddr,
+                     util::Cycle& clock) {
+  if (primitive_ == DramaPrimitive::kClflush) {
+    (void)system().clflush(actor, vaddr, clock);
+    clock += config().fence_cost;  // mfence: flush must complete first.
+  } else {
+    (void)system().evict(actor, vaddr, clock);
+  }
+}
+
+void Drama::send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) {
+  if (!bit) {
+    clock += config().sender_nop_cost;
+    return;
+  }
+  // The sender's line is cached from the previous use of this bank; it must
+  // be displaced so the access below reaches DRAM and opens the row. Each
+  // bit window is held with `samples_per_bit` rounds.
+  for (std::uint32_t s = 0; s < samples_per_bit_; ++s) {
+    displace(kSender, sender_addr(bank), clock);
+    (void)system().load(kSender, sender_addr(bank), clock);
+  }
+}
+
+double Drama::probe(std::uint32_t bank, util::Cycle& clock) {
+  // Displace first (unmeasured, but on the per-bit budget), then time the
+  // reload: its latency reveals the row-buffer state. The bit's value is
+  // the worst (slowest) of the redundant samples: interference in any
+  // sample round means the sender was active in this window.
+  const auto& ts = system().timestamp();
+  double worst = 0.0;
+  for (std::uint32_t s = 0; s < samples_per_bit_; ++s) {
+    displace(kReceiver, receiver_addr(bank), clock);
+    const util::Cycle t0 = ts.read(clock);
+    (void)system().load(kReceiver, receiver_addr(bank), clock);
+    const util::Cycle t1 = ts.read_fast(clock);
+    worst = std::max(worst, static_cast<double>(t1 - t0));
+  }
+  return worst;
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,52 @@
+// DRAMA-style processor-centric row-buffer covert channels (Pessl et al.,
+// USENIX Sec'16) — the state-of-the-art main-memory attacks IMPACT is
+// compared against (§5.1 attacks (i) and (ii)).
+//
+// Both variants communicate through the same row-buffer interference as
+// IMPACT, but every memory request must cross the cache hierarchy, and the
+// target line must be displaced from the caches before each use:
+//   * DRAMA-clflush  — displacement via the clflush instruction (probes the
+//     LLC; any dirty write-back lands on the critical path).
+//   * DRAMA-eviction — displacement via an eviction set of LLC-way
+//     conflicting loads (the §3.3 "baseline attack"), whose cost grows with
+//     LLC size and associativity.
+#pragma once
+
+#include "attacks/common.hpp"
+
+namespace impact::attacks {
+
+enum class DramaPrimitive : std::uint8_t { kClflush, kEviction };
+
+struct DramaConfig {
+  RowChannelConfig channel{};
+  DramaPrimitive primitive = DramaPrimitive::kClflush;
+  /// Redundant displace+access rounds per bit. The real DRAMA channel
+  /// samples each bit window repeatedly to survive scheduling skew and
+  /// row-buffer churn on actual hardware; the paper's throughput numbers
+  /// for [68] embed that redundancy.
+  std::uint32_t samples_per_bit = 2;
+};
+
+class Drama final : public RowBufferChannelBase {
+ public:
+  explicit Drama(sys::MemorySystem& system, DramaConfig config = {});
+
+  [[nodiscard]] std::string name() const override {
+    return primitive_ == DramaPrimitive::kClflush ? "DRAMA-clflush"
+                                                  : "DRAMA-eviction";
+  }
+
+ protected:
+  void send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) override;
+  double probe(std::uint32_t bank, util::Cycle& clock) override;
+
+ private:
+  /// Displaces the line at `vaddr` from `actor`'s caches.
+  void displace(dram::ActorId actor, sys::VAddr vaddr, util::Cycle& clock);
+
+  DramaPrimitive primitive_;
+  std::uint32_t samples_per_bit_;
+};
+
+}  // namespace impact::attacks

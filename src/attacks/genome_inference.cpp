@@ -1,0 +1,141 @@
+#include "attacks/genome_inference.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace impact::attacks {
+
+GenomeInference::GenomeInference(const genomics::SeedTable& table,
+                                 std::size_t reference_bases,
+                                 InferenceConfig config)
+    : table_(&table), reference_bases_(reference_bases), config_(config) {
+  util::check(reference_bases_ > 0, "GenomeInference: empty reference");
+  util::check(config_.bin_bases > 0, "GenomeInference: bin_bases > 0");
+}
+
+EpisodeInference GenomeInference::score_episode(
+    const std::vector<BankObservation>& episode) const {
+  EpisodeInference out;
+  out.begin = episode.front().time;
+  out.end = episode.back().time;
+
+  // Distinct banks only: repeated positives on one bank carry no new
+  // bucket information within an episode.
+  std::set<dram::BankId> banks;
+  for (const auto& obs : episode) banks.insert(obs.bank);
+  if (banks.size() < config_.min_banks) return out;
+
+  // Vote: each bank's candidate buckets contribute their stored reference
+  // positions (deduplicated per bank per bin — one bank, one vote per
+  // region). High-frequency (repeat) buckets are masked, as mappers mask
+  // repeat minimizers.
+  const std::uint32_t total_banks = table_->banks();
+  const std::uint32_t buckets = table_->config().buckets;
+  std::unordered_map<std::size_t, std::uint32_t> bin_votes;
+  std::size_t candidates = 0;
+  for (const dram::BankId bank : banks) {
+    std::set<std::size_t> bins_for_bank;
+    for (std::uint32_t bucket = bank; bucket < buckets;
+         bucket += total_banks) {
+      const auto positions = table_->query_bucket(bucket);
+      if (positions.size() > config_.max_bucket_positions) continue;
+      candidates += positions.size();
+      for (const std::uint32_t pos : positions) {
+        bins_for_bank.insert(pos / config_.bin_bases);
+      }
+    }
+    for (const std::size_t bin : bins_for_bank) ++bin_votes[bin];
+  }
+  out.candidate_positions = candidates;
+
+  // Top-k bins by support (ties broken by position for determinism).
+  std::vector<InferredRegion> regions;
+  regions.reserve(bin_votes.size());
+  for (const auto& [bin, votes] : bin_votes) {
+    regions.push_back(
+        InferredRegion{bin * config_.bin_bases, votes});
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const InferredRegion& a, const InferredRegion& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.position < b.position;
+            });
+  if (regions.size() > config_.top_k) regions.resize(config_.top_k);
+  out.regions = std::move(regions);
+  return out;
+}
+
+std::vector<EpisodeInference> GenomeInference::infer(
+    const std::vector<BankObservation>& observations) const {
+  std::vector<EpisodeInference> out;
+  std::vector<BankObservation> episode;
+  for (const auto& obs : observations) {
+    if (!episode.empty() &&
+        obs.time > episode.back().time + config_.episode_gap) {
+      out.push_back(score_episode(episode));
+      episode.clear();
+    }
+    episode.push_back(obs);
+  }
+  if (!episode.empty()) out.push_back(score_episode(episode));
+  return out;
+}
+
+InferenceReport GenomeInference::evaluate(
+    const std::vector<BankObservation>& observations,
+    const std::vector<EpisodeTruth>& truths) const {
+  const auto episodes = infer(observations);
+  InferenceReport report;
+  report.episodes = episodes.size();
+
+  double candidate_fraction_sum = 0.0;
+  double candidate_positions_sum = 0.0;
+  std::size_t scored = 0;
+  for (const auto& e : episodes) {
+    if (e.regions.empty()) continue;
+    ++scored;
+    candidate_fraction_sum +=
+        static_cast<double>(e.regions.size()) * config_.bin_bases /
+        static_cast<double>(reference_bases_);
+    candidate_positions_sum += static_cast<double>(e.candidate_positions);
+  }
+  report.scored = scored;
+  report.mean_candidate_fraction =
+      scored == 0 ? 0.0 : candidate_fraction_sum / static_cast<double>(scored);
+  report.mean_candidate_positions =
+      scored == 0 ? 0.0
+                  : candidate_positions_sum / static_cast<double>(scored);
+
+  // Match each truth to overlapping episodes; a hit is a top-k region
+  // within one bin width of the true locus.
+  for (const auto& truth : truths) {
+    bool evaluated = false;
+    bool matched = false;
+    for (const auto& e : episodes) {
+      if (e.regions.empty()) continue;
+      if (e.end < truth.begin || e.begin > truth.end) continue;
+      evaluated = true;
+      for (const auto& region : e.regions) {
+        const auto lo = region.position >= config_.bin_bases
+                            ? region.position - config_.bin_bases
+                            : 0;
+        const auto hi = region.position + 2ull * config_.bin_bases;
+        if (truth.true_position >= lo && truth.true_position < hi) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    if (evaluated) {
+      ++report.evaluated_truths;
+      report.matched_truths += matched ? 1 : 0;
+    }
+  }
+  return report;
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,128 @@
+// The side channel's payoff stage (§4.3 step 4): from bank-granular
+// observations to inferred genome loci.
+//
+// The paper stops at "the attacker can use the leaked information in a
+// completion attack to infer properties about some regions of the private
+// sample genome" and cites imputation work; this module implements the
+// first, architectural half of that pipeline. The attacker uses the SAME
+// public artifacts the victim does — the reference genome's seed table —
+// plus its timed bank observations:
+//
+//   1. Positive probes cluster in time: one read's seeding burst touches
+//      ~a dozen banks within a short window. Gap-based segmentation
+//      recovers per-read *episodes*.
+//   2. Each episode bank narrows the victim's bucket to buckets/banks
+//      candidates; querying the (shared) table expands those buckets into
+//      candidate reference positions.
+//   3. A read's many seeds land in ONE reference region, so the true
+//      locus shows up as the region supported by the most distinct banks
+//      of the episode — a voting/chaining step over coarse reference bins.
+//
+// The bench reports the top-k hit rate (episodes whose true read locus is
+// among the k best-supported regions) and the search-space reduction
+// relative to the whole reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/seed_table.hpp"
+#include "util/units.hpp"
+
+namespace impact::attacks {
+
+/// One positive probe: the attacker saw interference in `bank` at `time`.
+struct BankObservation {
+  dram::BankId bank = 0;
+  util::Cycle time = 0;
+};
+
+/// Ground truth for evaluation: one victim read's true locus and the time
+/// span its seeding burst occupied.
+struct EpisodeTruth {
+  std::size_t true_position = 0;
+  util::Cycle begin = 0;
+  util::Cycle end = 0;
+};
+
+struct InferenceConfig {
+  /// Gap (cycles) separating two read episodes in the observation stream.
+  util::Cycle episode_gap = 20000;
+  /// Reference-position bin width for region voting.
+  std::uint32_t bin_bases = 256;
+  /// Candidate regions reported per episode.
+  std::uint32_t top_k = 5;
+  /// Minimum distinct banks for an episode to be scored at all.
+  std::uint32_t min_banks = 3;
+  /// Buckets holding more positions than this are ignored in the vote —
+  /// the attacker-side analogue of read mappers masking high-frequency
+  /// (repeat) minimizers, which otherwise flood every region with decoy
+  /// support.
+  std::uint32_t max_bucket_positions = 24;
+};
+
+/// One inferred locus: a reference region and its support.
+struct InferredRegion {
+  std::size_t position = 0;  ///< Bin start, in reference bases.
+  std::uint32_t support = 0; ///< Distinct episode banks voting for it.
+};
+
+struct EpisodeInference {
+  util::Cycle begin = 0;
+  util::Cycle end = 0;
+  std::vector<InferredRegion> regions;  ///< Best-first, <= top_k.
+  std::size_t candidate_positions = 0;  ///< Pre-vote candidate count.
+};
+
+struct InferenceReport {
+  std::size_t episodes = 0;
+  std::size_t scored = 0;        ///< Episodes with >= min_banks.
+  std::size_t matched_truths = 0;///< Truths hit by a top-k region.
+  std::size_t evaluated_truths = 0;
+  double mean_candidate_fraction = 0.0;  ///< Search space left, of 1.0.
+  /// Mean candidate reference positions an episode's banks expand into
+  /// before voting (the §5.4 precision quantity: fewer buckets per bank
+  /// means fewer candidates).
+  double mean_candidate_positions = 0.0;
+
+  [[nodiscard]] double topk_hit_rate() const {
+    return evaluated_truths == 0
+               ? 0.0
+               : static_cast<double>(matched_truths) /
+                     static_cast<double>(evaluated_truths);
+  }
+  /// How much of the reference the attacker still has to consider.
+  [[nodiscard]] double search_space_reduction() const {
+    return mean_candidate_fraction == 0.0
+               ? 0.0
+               : 1.0 / mean_candidate_fraction;
+  }
+};
+
+class GenomeInference {
+ public:
+  /// `table` is the shared seed table (public artifact); `reference_bases`
+  /// is the reference length (public).
+  GenomeInference(const genomics::SeedTable& table,
+                  std::size_t reference_bases, InferenceConfig config = {});
+
+  /// Splits observations (time-ordered) into episodes and infers loci.
+  [[nodiscard]] std::vector<EpisodeInference> infer(
+      const std::vector<BankObservation>& observations) const;
+
+  /// Full evaluation against ground truth (episode spans may interleave
+  /// with probes arbitrarily; matching is by time overlap).
+  [[nodiscard]] InferenceReport evaluate(
+      const std::vector<BankObservation>& observations,
+      const std::vector<EpisodeTruth>& truths) const;
+
+ private:
+  [[nodiscard]] EpisodeInference score_episode(
+      const std::vector<BankObservation>& episode) const;
+
+  const genomics::SeedTable* table_;
+  std::size_t reference_bases_;
+  InferenceConfig config_;
+};
+
+}  // namespace impact::attacks

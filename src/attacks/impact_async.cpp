@@ -1,0 +1,136 @@
+#include "attacks/impact_async.hpp"
+
+#include <algorithm>
+
+#include "attacks/common.hpp"
+#include "util/assert.hpp"
+
+namespace impact::attacks {
+
+ImpactAsync::ImpactAsync(sys::MemorySystem& system, ImpactAsyncConfig config)
+    : system_(&system),
+      config_(config),
+      sender_pei_(config.pei, system, kSender),
+      receiver_pei_(config.pei, system, kReceiver) {
+  util::check(config_.banks > 0 &&
+                  config_.banks <= system.controller().banks(),
+              "ImpactAsyncConfig: bad bank count");
+  // Below ~120 cycles the sender's activation would not even land in the
+  // bank before the mid-slot probe; the simulator's program-order state
+  // application is only faithful above this bound.
+  util::check(config_.slot_cycles >= 120,
+              "ImpactAsyncConfig: slot too short to issue anything");
+}
+
+void ImpactAsync::ensure_ready() {
+  if (ready_) return;
+  ready_ = true;
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    receiver_spans_.push_back(
+        system_->vmem().map_row(kReceiver, b, config_.receiver_row));
+    sender_spans_.push_back(
+        system_->vmem().map_row(kSender, b, config_.sender_row));
+    system_->warm_span(kReceiver, receiver_spans_.back());
+    system_->warm_span(kSender, sender_spans_.back());
+  }
+  // Initialize the receiver rows.
+  util::Cycle init = 0;
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    const auto col = receiver_pei_.next_bypass_column(8192, 64);
+    (void)receiver_pei_.execute(receiver_spans_[b].vaddr + col, init);
+  }
+  epoch_ = init + config_.slot_cycles;
+  calibrate();
+}
+
+void ImpactAsync::calibrate() {
+  const auto pattern = util::BitVec::alternating(config_.calibration_bits);
+  threshold_ = 0.0;
+  (void)transmit(pattern);
+  channel::ThresholdCalibrator cal;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern.get(i)) {
+      cal.add_high(last_latencies_[i]);
+    } else {
+      cal.add_low(last_latencies_[i]);
+    }
+  }
+  threshold_ = cal.threshold();
+}
+
+channel::TransmissionResult ImpactAsync::transmit(
+    const util::BitVec& message) {
+  ensure_ready();
+  util::check(!message.empty(), "ImpactAsync::transmit: empty message");
+
+  channel::TransmissionResult result;
+  result.sent = message;
+  result.decoded = util::BitVec(message.size());
+  last_latencies_.assign(message.size(), 0.0);
+
+  const util::Cycle slot = config_.slot_cycles;
+  const util::Cycle start = epoch_;
+  util::Cycle sender_clock = epoch_;
+  util::Cycle receiver_clock = epoch_;
+  std::size_t overruns = 0;
+  const auto& ts = system_->timestamp();
+
+  // The two actors free-run against the slot grid with no handshake, so
+  // their operations must be applied to the shared banks in *timestamp*
+  // order — that is what makes receiver lag really hurt: a probe that has
+  // drifted a full bank-recycle behind reads the next message round's
+  // state.
+  const std::size_t n = message.size();
+  std::size_t ks = 0;
+  std::size_t kr = 0;
+  while (kr < n) {
+    const util::Cycle sender_next =
+        ks < n ? std::max(sender_clock, start + ks * slot)
+               : ~util::Cycle{0};
+    const util::Cycle receiver_next =
+        std::max(receiver_clock, start + kr * slot + slot / 2);
+    if (sender_next <= receiver_next && ks < n) {
+      // Sender: spin to its slot boundary, transmit if 1. If its previous
+      // operation overran, it simply starts late (no resync exists).
+      sender_clock = sender_next;
+      if (message.get(ks)) {
+        const auto col = sender_pei_.next_bypass_column(8192, 64);
+        const std::uint32_t bank =
+            static_cast<std::uint32_t>(ks % config_.banks);
+        (void)sender_pei_.execute(sender_spans_[bank].vaddr + col,
+                                  sender_clock);
+      }
+      ++ks;
+      continue;
+    }
+    // Receiver: probe mid-slot (late if lagging).
+    const util::Cycle probe_at = start + kr * slot + slot / 2;
+    if (receiver_clock > probe_at) ++overruns;  // Slot deadline missed.
+    receiver_clock = std::max(receiver_clock, probe_at);
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(kr % config_.banks);
+    const auto col = receiver_pei_.next_bypass_column(8192, 64);
+    const util::Cycle t0 = ts.read(receiver_clock);
+    (void)receiver_pei_.execute(receiver_spans_[bank].vaddr + col,
+                                receiver_clock);
+    const util::Cycle t1 = ts.read_fast(receiver_clock);
+    const double latency = static_cast<double>(t1 - t0);
+    last_latencies_[kr] = latency;
+    if (threshold_ > 0.0) {
+      result.decoded.set(kr, channel::decode_bit(latency, threshold_));
+    }
+    ++kr;
+  }
+
+  overrun_rate_ = static_cast<double>(overruns) /
+                  static_cast<double>(message.size());
+  const util::Cycle end = std::max(sender_clock, receiver_clock);
+  result.report.elapsed_cycles = end - start;
+  result.report.sender_cycles = sender_clock - start;
+  result.report.receiver_cycles = receiver_clock - start;
+  channel::score(result);
+  epoch_ = end + slot;
+  return result;
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,37 @@
+#include "attacks/impact_fim.hpp"
+
+namespace impact::attacks {
+
+ImpactFim::ImpactFim(sys::MemorySystem& system, ImpactFimConfig config)
+    : RowBufferChannelBase(system, config.channel),
+      config_(config),
+      sender_fim_(config.fim, system.controller(), kSender),
+      receiver_fim_(config.fim, system.controller(), kReceiver) {}
+
+void ImpactFim::setup() {
+  RowBufferChannelBase::setup();
+  // Step 1 in one command: an all-bank op on the receiver row initializes
+  // every bank's row buffer simultaneously.
+  util::Cycle init_clock = 0;
+  (void)receiver_fim_.execute_all_bank(config_.channel.receiver_row,
+                                       init_clock);
+}
+
+void ImpactFim::send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) {
+  if (!bit) {
+    clock += config().sender_nop_cost;
+    return;
+  }
+  (void)sender_fim_.execute_bank(bank, config_.channel.sender_row, clock);
+}
+
+double ImpactFim::probe(std::uint32_t bank, util::Cycle& clock) {
+  const auto& ts = system().timestamp();
+  const util::Cycle t0 = ts.read(clock);
+  (void)receiver_fim_.execute_bank(bank, config_.channel.receiver_row,
+                                   clock);
+  const util::Cycle t1 = ts.read_fast(clock);
+  return static_cast<double>(t1 - t0);
+}
+
+}  // namespace impact::attacks

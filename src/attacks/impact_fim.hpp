@@ -1,0 +1,38 @@
+// IMPACT-PnM generalized to a FIMDRAM-style architecture (§4.1's claim
+// that the attack carries over to other PnM designs).
+//
+// Differences from the PEI variant: commands reach the banks through
+// memory-mapped registers with no locality monitor in the path (no
+// ignore-flag bypass needed, no host-placement risk), and the receiver's
+// Step-1 initialization is a single all-bank operation instead of one PEI
+// per bank.
+#pragma once
+
+#include "attacks/common.hpp"
+#include "pim/fimdram.hpp"
+
+namespace impact::attacks {
+
+struct ImpactFimConfig {
+  RowChannelConfig channel{};
+  pim::FimConfig fim{};
+};
+
+class ImpactFim final : public RowBufferChannelBase {
+ public:
+  explicit ImpactFim(sys::MemorySystem& system, ImpactFimConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "IMPACT-FIM"; }
+
+ protected:
+  void setup() override;
+  void send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) override;
+  double probe(std::uint32_t bank, util::Cycle& clock) override;
+
+ private:
+  ImpactFimConfig config_;
+  pim::FimDispatcher sender_fim_;
+  pim::FimDispatcher receiver_fim_;
+};
+
+}  // namespace impact::attacks

@@ -1,0 +1,34 @@
+#include "attacks/impact_pnm.hpp"
+
+namespace impact::attacks {
+
+ImpactPnm::ImpactPnm(sys::MemorySystem& system, ImpactPnmConfig config)
+    : RowBufferChannelBase(system, config.channel),
+      sender_pei_(config.pei, system, kSender),
+      receiver_pei_(config.pei, system, kReceiver) {}
+
+void ImpactPnm::send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) {
+  if (!bit) {
+    clock += config().sender_nop_cost;
+    return;
+  }
+  // Rotate the targeted cache block within the row so the PMU keeps taking
+  // the allocate/ignore path and the PEI stays memory-side (§4.1 bypass).
+  const auto& mc = system().controller();
+  const std::uint32_t col = sender_pei_.next_bypass_column(
+      mc.config().row_bytes, 64);
+  (void)sender_pei_.execute(sender_addr(bank) + col, clock);
+}
+
+double ImpactPnm::probe(std::uint32_t bank, util::Cycle& clock) {
+  const auto& mc = system().controller();
+  const std::uint32_t col = receiver_pei_.next_bypass_column(
+      mc.config().row_bytes, 64);
+  const auto& ts = system().timestamp();
+  const util::Cycle t0 = ts.read(clock);
+  (void)receiver_pei_.execute(receiver_addr(bank) + col, clock);
+  const util::Cycle t1 = ts.read_fast(clock);
+  return static_cast<double>(t1 - t0);
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,143 @@
+#include "attacks/impact_pum.hpp"
+
+#include <algorithm>
+
+#include "attacks/common.hpp"
+#include "sys/sync.hpp"
+#include "util/assert.hpp"
+
+namespace impact::attacks {
+
+ImpactPum::ImpactPum(sys::MemorySystem& system, ImpactPumConfig config)
+    : system_(&system),
+      config_(config),
+      sender_unit_(config.sender_rowclone, system, kSender),
+      receiver_unit_(config.receiver_rowclone, system, kReceiver) {
+  util::check(config_.banks > 0 && config_.banks <= 64,
+              "ImpactPumConfig: banks must be in [1,64]");
+  util::check(config_.banks <= system.controller().banks(),
+              "ImpactPumConfig: more signalling banks than DRAM banks");
+  const auto subarray = system.controller().config().subarray_rows;
+  util::check(config_.receiver_init_src / subarray ==
+                      config_.receiver_row / subarray &&
+                  config_.sender_src_row / subarray ==
+                      config_.sender_dst_row / subarray,
+              "ImpactPumConfig: clone rows must share a subarray");
+}
+
+void ImpactPum::ensure_ready() {
+  if (ready_) return;
+  ready_ = true;
+  auto& vmem = system_->vmem();
+  receiver_init_src_span_ =
+      vmem.map_row_span(kReceiver, config_.receiver_init_src);
+  receiver_span_ = vmem.map_row_span(kReceiver, config_.receiver_row);
+  sender_src_span_ = vmem.map_row_span(kSender, config_.sender_src_row);
+  sender_dst_span_ = vmem.map_row_span(kSender, config_.sender_dst_row);
+  system_->warm_span(kReceiver, receiver_init_src_span_);
+  system_->warm_span(kReceiver, receiver_span_);
+  system_->warm_span(kSender, sender_src_span_);
+  system_->warm_span(kSender, sender_dst_span_);
+
+  // Step 1: initialize all signalling banks with a single masked RowClone,
+  // leaving `receiver_row` latched in every bank's row buffer.
+  const std::uint64_t full_mask =
+      config_.banks == 64 ? ~0ull : ((1ull << config_.banks) - 1);
+  (void)receiver_unit_.initialize(
+      pim::RowCloneRequest{receiver_init_src_span_.vaddr,
+                           receiver_span_.vaddr, full_mask},
+      receiver_clock_);
+
+  calibrate();
+}
+
+void ImpactPum::calibrate() {
+  const auto pattern = util::BitVec::alternating(config_.calibration_bits);
+  threshold_ = 0.0;
+  (void)transmit(pattern);
+  channel::ThresholdCalibrator cal;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern.get(i)) {
+      cal.add_high(last_latencies_[i]);
+    } else {
+      cal.add_low(last_latencies_[i]);
+    }
+  }
+  threshold_ = cal.threshold();
+}
+
+channel::TransmissionResult ImpactPum::transmit(
+    const util::BitVec& message) {
+  ensure_ready();
+  util::check(!message.empty(), "ImpactPum::transmit: empty message");
+
+  channel::TransmissionResult result;
+  result.sent = message;
+  result.decoded = util::BitVec(message.size());
+  last_latencies_.assign(message.size(), 0.0);
+
+  sys::SimBarrier barrier;
+  barrier.sync(sender_clock_, receiver_clock_);
+  const util::Cycle start = sender_clock_;
+  const util::Cycle sender_start = sender_clock_;
+  const util::Cycle receiver_start = receiver_clock_;
+  const auto& ts = system_->timestamp();
+
+  // Each turn moves up to `banks` bits with one masked RowClone.
+  for (std::size_t base = 0; base < message.size();
+       base += config_.banks) {
+    const std::size_t end =
+        std::min(message.size(), base + config_.banks);
+
+    // barrier_1: start of the communication turn.
+    barrier.sync(sender_clock_, receiver_clock_);
+
+    // Sender: encode this chunk into the RowClone mask.
+    std::uint64_t mask = 0;
+    for (std::size_t i = base; i < end; ++i) {
+      if (message.get(i)) mask |= 1ull << (i - base);
+    }
+    sender_clock_ += config_.mask_setup_cost;
+    util::Cycle clone_done = sender_clock_;
+    if (mask != 0) {
+      const auto clone = sender_unit_.execute(
+          pim::RowCloneRequest{sender_src_span_.vaddr,
+                               sender_dst_span_.vaddr, mask},
+          sender_clock_, /*atomic=*/true);
+      clone_done = clone.completion;
+    }
+
+    // barrier_2: releases at the sender's (non-blocking) retirement; the
+    // receiver additionally spins until the atomic RowClone gate clears —
+    // otherwise its first probes would queue behind the in-flight copy and
+    // read as spurious interference.
+    barrier.sync(sender_clock_, receiver_clock_);
+    receiver_clock_ = std::max(receiver_clock_, clone_done);
+
+    // Receiver: one self-clone probe per bank.
+    for (std::size_t i = base; i < end; ++i) {
+      const std::uint32_t bank = static_cast<std::uint32_t>(i - base);
+      receiver_clock_ += config_.mask_setup_cost;
+      const util::Cycle t0 = ts.read(receiver_clock_);
+      (void)receiver_unit_.execute(
+          pim::RowCloneRequest{receiver_span_.vaddr, receiver_span_.vaddr,
+                               1ull << bank},
+          receiver_clock_, /*atomic=*/false);
+      const util::Cycle t1 = ts.read_fast(receiver_clock_);
+      const double latency = static_cast<double>(t1 - t0);
+      last_latencies_[i] = latency;
+      if (threshold_ > 0.0) {
+        result.decoded.set(i, channel::decode_bit(latency, threshold_));
+      }
+    }
+  }
+
+  result.report.elapsed_cycles =
+      std::max(sender_clock_, receiver_clock_) - start;
+  result.report.sender_cycles = sender_clock_ - sender_start;
+  result.report.receiver_cycles = receiver_clock_ - receiver_start;
+  channel::score(result);
+  return result;
+}
+
+}  // namespace impact::attacks

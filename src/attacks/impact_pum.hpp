@@ -1,0 +1,70 @@
+// IMPACT-PuM: the RowClone-based covert channel (§4.2).
+//
+// The sender transmits an N-bit message with ONE masked RowClone whose legs
+// run in all selected banks in parallel: bank k's row buffer is disturbed
+// iff message bit k is 1. The receiver probes each bank with a "self-clone"
+// of its initialized row (src == dst == the row it opened in Step 1): if
+// its row is still latched the clone takes the fast hit path; if the sender
+// displaced it the probe pays the precharge + full copy, which the receiver
+// detects through the controller's acknowledgement latency.
+#pragma once
+
+#include <vector>
+
+#include "channel/attack.hpp"
+#include "channel/threshold.hpp"
+#include "pim/rowclone.hpp"
+#include "sys/system.hpp"
+
+namespace impact::attacks {
+
+struct ImpactPumConfig {
+  std::uint32_t banks = 16;            ///< Message bits per RowClone (<=64).
+  dram::RowId receiver_init_src = 8;   ///< Source row for Step-1 init.
+  dram::RowId receiver_row = 9;        ///< Initialized / probed row.
+  dram::RowId sender_src_row = 12;
+  dram::RowId sender_dst_row = 13;
+  std::size_t calibration_bits = 64;
+  util::Cycle mask_setup_cost = 10;    ///< Receiver's per-probe mask work.
+  /// Both sides issue non-blocking RowClones (the instruction retires at
+  /// the controller's acknowledgement; the in-bank copy continues in the
+  /// background and the atomic gate keeps other commands out until it
+  /// finishes). This is what makes the PuM sender an order of magnitude
+  /// faster than the PnM sender's 16 sequential PEIs (Fig. 9).
+  pim::RowCloneConfig sender_rowclone{8, 4, /*blocking=*/false};
+  pim::RowCloneConfig receiver_rowclone{8, 4, /*blocking=*/false};
+};
+
+class ImpactPum final : public channel::CovertAttack {
+ public:
+  explicit ImpactPum(sys::MemorySystem& system, ImpactPumConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "IMPACT-PuM"; }
+
+  channel::TransmissionResult transmit(const util::BitVec& message) override;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] const std::vector<double>& last_latencies() const {
+    return last_latencies_;
+  }
+
+ private:
+  void ensure_ready();
+  void calibrate();
+
+  sys::MemorySystem* system_;
+  ImpactPumConfig config_;
+  bool ready_ = false;
+  double threshold_ = 0.0;
+  sys::VSpan receiver_init_src_span_;
+  sys::VSpan receiver_span_;
+  sys::VSpan sender_src_span_;
+  sys::VSpan sender_dst_span_;
+  pim::RowCloneUnit sender_unit_;
+  pim::RowCloneUnit receiver_unit_;
+  std::vector<double> last_latencies_;
+  util::Cycle sender_clock_ = 0;
+  util::Cycle receiver_clock_ = 0;
+};
+
+}  // namespace impact::attacks

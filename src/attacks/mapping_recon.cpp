@@ -1,0 +1,102 @@
+#include "attacks/mapping_recon.hpp"
+
+#include <numeric>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace impact::attacks {
+
+MappingRecon::MappingRecon(sys::MemorySystem& system, dram::ActorId actor,
+                           ReconConfig config)
+    : system_(&system), actor_(actor), config_(config), rng_(config.seed) {
+  util::check(config_.sample_addresses >= 2,
+              "ReconConfig: need at least two samples");
+  util::check(config_.rounds_per_pair >= 2,
+              "ReconConfig: need at least two rounds");
+}
+
+double MappingRecon::pair_latency(sys::VAddr a, sys::VAddr b) {
+  // Alternate a,b,a,b,...: same-bank pairs conflict on every access.
+  double total = 0.0;
+  std::uint32_t measured = 0;
+  for (std::uint32_t round = 0; round < config_.rounds_per_pair; ++round) {
+    const auto ra = system_->direct_access(actor_, a, clock_);
+    const auto rb = system_->direct_access(actor_, b, clock_);
+    if (round == 0) continue;  // Warm-up round primes both rows.
+    total += static_cast<double>(ra.latency + rb.latency) / 2.0;
+    ++measured;
+  }
+  clock_ += 200;  // Loop overhead between pairs.
+  return total / measured;
+}
+
+void MappingRecon::calibrate() {
+  // Self-calibration with pages whose bank relation the attacker controls
+  // by construction: two rows it massaged into one bank (slow reference)
+  // and two in different banks (fast reference).
+  auto& vmem = system_->vmem();
+  const auto same_a = vmem.map_row(actor_, 0, 200);
+  const auto same_b = vmem.map_row(actor_, 0, 201);
+  const auto diff_b = vmem.map_row(actor_, 1, 202);
+  system_->warm_span(actor_, same_a);
+  system_->warm_span(actor_, same_b);
+  system_->warm_span(actor_, diff_b);
+  const double slow = pair_latency(same_a.vaddr, same_b.vaddr);
+  const double fast = pair_latency(same_a.vaddr, diff_b.vaddr);
+  util::check(slow > fast, "MappingRecon: calibration references inverted");
+  threshold_ = (slow + fast) / 2.0;
+}
+
+bool MappingRecon::same_bank(sys::VAddr a, sys::VAddr b) {
+  if (threshold_ == 0.0) calibrate();
+  return pair_latency(a, b) > threshold_;
+}
+
+ReconResult MappingRecon::run() {
+  auto& vmem = system_->vmem();
+  const auto& mapping = system_->controller().mapping();
+
+  // Sample random pages of the attacker's own allocation.
+  std::vector<sys::VAddr> samples;
+  std::vector<dram::BankId> truth;
+  const auto span = vmem.map_pages(actor_, config_.sample_addresses);
+  system_->warm_span(actor_, span);
+  for (std::size_t i = 0; i < config_.sample_addresses; ++i) {
+    const sys::VAddr v = span.vaddr + i * vmem.page_bytes();
+    samples.push_back(v);
+    truth.push_back(mapping.decode(vmem.translate(actor_, v)).bank);
+  }
+
+  ReconResult result;
+  result.classes_expected = static_cast<std::uint32_t>(
+      std::set<dram::BankId>(truth.begin(), truth.end()).size());
+
+  // Union-find over same-bank verdicts.
+  std::vector<std::size_t> parent(samples.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      if (find(i) == find(j)) continue;  // Already known equivalent.
+      const bool verdict = same_bank(samples[i], samples[j]);
+      ++result.pair_tests;
+      if (verdict != (truth[i] == truth[j])) ++result.pair_errors;
+      if (verdict) parent[find(i)] = find(j);
+    }
+  }
+
+  std::set<std::size_t> roots;
+  for (std::size_t i = 0; i < samples.size(); ++i) roots.insert(find(i));
+  result.classes_found = static_cast<std::uint32_t>(roots.size());
+  return result;
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,68 @@
+// Timing-based DRAM address-mapping reverse engineering (DRAMA, §2.3/§4.1).
+//
+// Both IMPACT covert channels assume sender and receiver co-locate rows in
+// chosen banks ("memory massaging"), which in practice requires knowing the
+// physical-address -> bank function. DRAMA recovers it from timing alone:
+// two addresses in the *same* bank (different rows) conflict on every
+// alternating access, while addresses in different banks keep their own
+// rows open. This module implements that primitive over the simulator's
+// direct-access path and clusters sampled addresses into bank-equivalence
+// classes, verified against the ground-truth mapping in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sys/system.hpp"
+#include "util/rng.hpp"
+
+namespace impact::attacks {
+
+struct ReconConfig {
+  std::size_t sample_addresses = 64;
+  /// Alternating accesses per pair test (more = sharper statistics).
+  std::uint32_t rounds_per_pair = 6;
+  std::uint64_t seed = 911;
+};
+
+struct ReconResult {
+  std::uint32_t classes_found = 0;      ///< Distinct banks among samples.
+  std::uint32_t classes_expected = 0;   ///< Ground truth for the samples.
+  std::size_t pair_tests = 0;
+  std::size_t pair_errors = 0;          ///< Same-bank verdicts vs truth.
+
+  [[nodiscard]] double pairwise_accuracy() const {
+    return pair_tests == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(pair_errors) /
+                           static_cast<double>(pair_tests);
+  }
+};
+
+class MappingRecon {
+ public:
+  MappingRecon(sys::MemorySystem& system, dram::ActorId actor,
+               ReconConfig config = {});
+
+  /// The DRAMA timing primitive: do `a` and `b` share a bank? Decided by
+  /// the mean latency of alternating direct accesses against a calibrated
+  /// threshold.
+  [[nodiscard]] bool same_bank(sys::VAddr a, sys::VAddr b);
+
+  /// Samples addresses, runs all pair tests, unions same-bank verdicts
+  /// into classes and scores them against the ground-truth mapping.
+  ReconResult run();
+
+ private:
+  double pair_latency(sys::VAddr a, sys::VAddr b);
+  void calibrate();
+
+  sys::MemorySystem* system_;
+  dram::ActorId actor_;
+  ReconConfig config_;
+  util::Xoshiro256 rng_;
+  double threshold_ = 0.0;
+  util::Cycle clock_ = 0;
+};
+
+}  // namespace impact::attacks

@@ -1,0 +1,61 @@
+#include "attacks/pnm_offchip.hpp"
+
+#include <algorithm>
+
+namespace impact::attacks {
+
+PnmOffChip::PnmOffChip(sys::MemorySystem& system, PnmOffChipConfig cfg)
+    : RowBufferChannelBase(system, cfg.channel),
+      cfg_(cfg),
+      sender_pei_(cfg.pei, system, kSender),
+      receiver_pei_(cfg.pei, system, kReceiver),
+      rng_(cfg.seed) {
+  const double resident =
+      std::min(1.0, static_cast<double>(system.config().llc_bytes) /
+                        static_cast<double>(cfg_.background_ws_bytes));
+  host_rate_ = std::min(1.0, cfg_.host_rate_base +
+                                 cfg_.host_rate_slope * resident);
+}
+
+bool PnmOffChip::placed_on_host() { return rng_.chance(host_rate_); }
+
+void PnmOffChip::execute_host(dram::ActorId actor, sys::VAddr vaddr,
+                              util::Cycle& clock) {
+  // Host-side PCU: ordinary cached load plus a ~3-cycle compute. The
+  // attacker's rows are typically resident after earlier host placements,
+  // so this usually never reaches DRAM — which is exactly the problem for
+  // the attack.
+  (void)system().load(actor, vaddr, clock);
+  clock += 3;
+}
+
+void PnmOffChip::send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) {
+  if (!bit) {
+    clock += config().sender_nop_cost;
+    return;
+  }
+  const auto row_bytes = system().controller().config().row_bytes;
+  const std::uint32_t col = sender_pei_.next_bypass_column(row_bytes, 64);
+  if (placed_on_host()) {
+    execute_host(kSender, sender_addr(bank) + col, clock);  // Bit lost.
+    return;
+  }
+  (void)sender_pei_.execute(sender_addr(bank) + col, clock);
+}
+
+double PnmOffChip::probe(std::uint32_t bank, util::Cycle& clock) {
+  const auto row_bytes = system().controller().config().row_bytes;
+  const std::uint32_t col = receiver_pei_.next_bypass_column(row_bytes, 64);
+  const auto& ts = system().timestamp();
+  const util::Cycle t0 = ts.read(clock);
+  if (placed_on_host()) {
+    // Mis-routed probe: measures the cache path, not the DRAM row state.
+    execute_host(kReceiver, receiver_addr(bank) + col, clock);
+  } else {
+    (void)receiver_pei_.execute(receiver_addr(bank) + col, clock);
+  }
+  const util::Cycle t1 = ts.read_fast(clock);
+  return static_cast<double>(t1 - t0);
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,74 @@
+#include "attacks/registry.hpp"
+
+#include "attacks/direct.hpp"
+#include "attacks/drama.hpp"
+#include "attacks/impact_fim.hpp"
+#include "attacks/impact_pnm.hpp"
+#include "attacks/impact_pum.hpp"
+#include "attacks/pnm_offchip.hpp"
+#include "util/assert.hpp"
+
+namespace impact::attacks {
+
+const char* to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kDramaClflush:
+      return "DRAMA-clflush";
+    case AttackKind::kDramaEviction:
+      return "DRAMA-eviction";
+    case AttackKind::kDmaEngine:
+      return "DMA-engine";
+    case AttackKind::kPnmOffChip:
+      return "PnM-OffChip";
+    case AttackKind::kImpactPnm:
+      return "IMPACT-PnM";
+    case AttackKind::kImpactPum:
+      return "IMPACT-PuM";
+    case AttackKind::kDirectAccess:
+      return "Direct-access";
+    case AttackKind::kImpactFim:
+      return "IMPACT-FIM";
+  }
+  return "?";
+}
+
+dram::MappingScheme recommended_mapping(AttackKind kind) {
+  // Eviction sets must avoid the signalling bank: under pure power-of-two
+  // bank interleaving every LLC-set-congruent line aliases into the same
+  // bank, so the eviction attacker targets systems with XOR-hashed bank
+  // bits (which is also what DRAMA reverse-engineers in practice).
+  if (kind == AttackKind::kDramaEviction) {
+    return dram::MappingScheme::kXorBankHash;
+  }
+  return dram::MappingScheme::kBankInterleaved;
+}
+
+std::unique_ptr<channel::CovertAttack> make_attack(AttackKind kind,
+                                                   sys::MemorySystem& system) {
+  switch (kind) {
+    case AttackKind::kDramaClflush:
+      return std::make_unique<Drama>(
+          system, DramaConfig{{}, DramaPrimitive::kClflush});
+    case AttackKind::kDramaEviction:
+      // One sample per bit: a single eviction round already spans the
+      // whole bit window.
+      return std::make_unique<Drama>(
+          system, DramaConfig{{}, DramaPrimitive::kEviction, 1});
+    case AttackKind::kDmaEngine:
+      return std::make_unique<DmaEngine>(system);
+    case AttackKind::kPnmOffChip:
+      return std::make_unique<PnmOffChip>(system);
+    case AttackKind::kImpactPnm:
+      return std::make_unique<ImpactPnm>(system);
+    case AttackKind::kImpactPum:
+      return std::make_unique<ImpactPum>(system);
+    case AttackKind::kDirectAccess:
+      return std::make_unique<DirectAccess>(system);
+    case AttackKind::kImpactFim:
+      return std::make_unique<ImpactFim>(system);
+  }
+  util::check(false, "make_attack: unknown kind");
+  return nullptr;
+}
+
+}  // namespace impact::attacks

@@ -1,0 +1,46 @@
+// Uniform construction of all covert-channel comparison points (§5.1's
+// seven attacks) for the bench sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "channel/attack.hpp"
+#include "dram/address_mapping.hpp"
+#include "sys/system.hpp"
+
+namespace impact::attacks {
+
+enum class AttackKind : std::uint8_t {
+  kDramaClflush,
+  kDramaEviction,
+  kDmaEngine,
+  kPnmOffChip,
+  kImpactPnm,
+  kImpactPum,
+  kDirectAccess,  ///< §3.3's idealized direct attack (Figs. 2/3).
+  kImpactFim,     ///< Extension: §4.1's FIMDRAM generalization.
+};
+
+[[nodiscard]] const char* to_string(AttackKind kind);
+
+/// Fig. 8's comparison set, in the paper's presentation order. Streamline
+/// is the analytical model (model/cache_attack_model.hpp) and is added by
+/// the bench directly.
+inline constexpr AttackKind kFig8Attacks[] = {
+    AttackKind::kDramaClflush, AttackKind::kDramaEviction,
+    AttackKind::kDmaEngine,    AttackKind::kPnmOffChip,
+    AttackKind::kImpactPnm,    AttackKind::kImpactPum,
+};
+
+/// The address-mapping scheme an attacker of this kind engineers its
+/// allocations around (eviction sets need a mapping whose congruent lines
+/// spread over banks).
+[[nodiscard]] dram::MappingScheme recommended_mapping(AttackKind kind);
+
+/// Constructs the attack against `system`. The system must use
+/// `recommended_mapping(kind)` and outlive the attack.
+[[nodiscard]] std::unique_ptr<channel::CovertAttack> make_attack(
+    AttackKind kind, sys::MemorySystem& system);
+
+}  // namespace impact::attacks

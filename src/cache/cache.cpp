@@ -1,0 +1,101 @@
+#include "cache/cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace impact::cache {
+
+void CacheConfig::validate() const {
+  util::check(size_bytes > 0 && ways > 0 && line_bytes > 0,
+              "CacheConfig: sizes must be positive");
+  util::check(size_bytes % (static_cast<std::uint64_t>(ways) * line_bytes) ==
+                  0,
+              "CacheConfig: size must be divisible by ways*line");
+  util::check(sets() > 0, "CacheConfig: at least one set required");
+}
+
+Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+  config_.validate();
+  sets_ = config_.sets();
+  ways_.assign(static_cast<std::size_t>(sets_) * config_.ways, Way{});
+  repl_.reserve(sets_);
+  for (std::uint32_t s = 0; s < sets_; ++s) {
+    repl_.emplace_back(config_.replacement, config_.ways);
+  }
+}
+
+std::optional<std::uint32_t> Cache::find_way(std::uint32_t set,
+                                             LineAddr line) const {
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const Way& entry = ways_[base + w];
+    if (entry.valid && entry.tag == line) return w;
+  }
+  return std::nullopt;
+}
+
+bool Cache::access(LineAddr line, bool is_write) {
+  const std::uint32_t set = set_index(line);
+  const auto way = find_way(set, line);
+  if (way.has_value()) {
+    ++stats_.hits;
+    repl_[set].touch(*way);
+    if (is_write) {
+      ways_[static_cast<std::size_t>(set) * config_.ways + *way].dirty = true;
+    }
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+std::optional<Eviction> Cache::fill(LineAddr line, bool dirty) {
+  const std::uint32_t set = set_index(line);
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+
+  // Already present (e.g. racing fills): just update.
+  if (const auto way = find_way(set, line)) {
+    Way& entry = ways_[base + *way];
+    entry.dirty = entry.dirty || dirty;
+    repl_[set].touch(*way);
+    return std::nullopt;
+  }
+
+  // Prefer an invalid way.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!ways_[base + w].valid) {
+      ways_[base + w] = Way{true, dirty, line};
+      repl_[set].insert(w);
+      return std::nullopt;
+    }
+  }
+
+  const std::uint32_t victim = repl_[set].victim();
+  Way& entry = ways_[base + victim];
+  Eviction ev{entry.tag, entry.dirty};
+  ++stats_.evictions;
+  if (entry.dirty) ++stats_.writebacks;
+  entry = Way{true, dirty, line};
+  repl_[set].insert(victim);
+  return ev;
+}
+
+std::optional<Eviction> Cache::invalidate(LineAddr line) {
+  const std::uint32_t set = set_index(line);
+  const auto way = find_way(set, line);
+  if (!way.has_value()) return std::nullopt;
+  Way& entry = ways_[static_cast<std::size_t>(set) * config_.ways + *way];
+  Eviction ev{entry.tag, entry.dirty};
+  if (entry.dirty) ++stats_.writebacks;
+  entry = Way{};
+  return ev;
+}
+
+bool Cache::contains(LineAddr line) const {
+  return find_way(set_index(line), line).has_value();
+}
+
+void Cache::clear() {
+  for (auto& w : ways_) w = Way{};
+}
+
+}  // namespace impact::cache

@@ -1,0 +1,98 @@
+// A single level of set-associative cache (tags only; data lives in DRAM's
+// DataArray — the cache model answers "hit or miss, and who got evicted").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "util/units.hpp"
+
+namespace impact::cache {
+
+/// Cache-line-granular address (byte address >> line shift).
+using LineAddr = std::uint64_t;
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t line_bytes = 64;
+  util::Cycle latency = 0;  ///< Lookup (tag+data) latency of this level.
+  ReplacementKind replacement = ReplacementKind::kLru;
+
+  [[nodiscard]] std::uint32_t sets() const {
+    return static_cast<std::uint32_t>(size_bytes / line_bytes / ways);
+  }
+  void validate() const;
+};
+
+/// A line displaced by a fill.
+struct Eviction {
+  LineAddr line = 0;
+  bool dirty = false;
+};
+
+struct LevelStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double miss_rate() const {
+    const auto n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(n);
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  /// Tag lookup; promotes on hit, optionally marks dirty. Returns hit/miss.
+  bool access(LineAddr line, bool is_write);
+
+  /// Installs `line`, returning the displaced line if a valid one was
+  /// evicted. Marks dirty when `dirty`.
+  std::optional<Eviction> fill(LineAddr line, bool dirty = false);
+
+  /// Removes `line` if present; returns its eviction record.
+  std::optional<Eviction> invalidate(LineAddr line);
+
+  /// Non-destructive presence probe (no replacement-state update).
+  [[nodiscard]] bool contains(LineAddr line) const;
+
+  /// Set index the line maps to (for eviction-set construction).
+  [[nodiscard]] std::uint32_t set_index(LineAddr line) const {
+    return static_cast<std::uint32_t>(line % sets_);
+  }
+
+  [[nodiscard]] const LevelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LevelStats{}; }
+
+  /// Drops all lines (no writebacks; tests only).
+  void clear();
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    LineAddr tag = 0;
+  };
+
+  [[nodiscard]] std::optional<std::uint32_t> find_way(std::uint32_t set,
+                                                      LineAddr line) const;
+
+  CacheConfig config_;
+  std::uint32_t sets_;
+  std::vector<Way> ways_;                    // sets_ * ways, row-major.
+  std::vector<ReplacementState> repl_;       // one per set.
+  LevelStats stats_;
+};
+
+}  // namespace impact::cache

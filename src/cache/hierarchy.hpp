@@ -1,0 +1,149 @@
+// Three-level inclusive cache hierarchy in front of the memory controller
+// (Table 2: 32 KiB L1D w/ IP-stride, 1 MiB L2 w/ SRRIP + streamer,
+// 2 MiB/core 16-way SRRIP LLC).
+//
+// This is the processor-centric memory path that IMPACT's PiM operations
+// bypass. The model is functional at line granularity: tags, replacement,
+// inclusive back-invalidation, dirty writebacks, prefetch pollution — so
+// that eviction sets, clflush and cache-filtering of memory requests behave
+// the way the paper's §3 analysis assumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/latency_model.hpp"
+#include "cache/prefetcher.hpp"
+#include "dram/controller.hpp"
+#include "util/units.hpp"
+
+namespace impact::cache {
+
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+[[nodiscard]] constexpr const char* to_string(HitLevel l) {
+  switch (l) {
+    case HitLevel::kL1:
+      return "L1";
+    case HitLevel::kL2:
+      return "L2";
+    case HitLevel::kL3:
+      return "L3";
+    case HitLevel::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+struct HierarchyConfig {
+  CacheConfig l1;
+  CacheConfig l2;
+  CacheConfig l3;
+  bool enable_prefetchers = true;
+  /// Outstanding-miss parallelism: how many DRAM fills an eviction burst
+  /// overlaps (MSHR-limited). Governs the §3.3 eviction-latency model.
+  std::uint32_t mlp = 4;
+
+  /// Table 2 configuration with a parameterizable LLC (for the Fig. 2/3/8
+  /// sweeps). LLC lookup latency follows the CACTI-style model.
+  [[nodiscard]] static HierarchyConfig table2(
+      std::uint64_t llc_bytes = 8ull * 1024 * 1024,
+      std::uint32_t llc_ways = 16);
+
+  void validate() const;
+};
+
+struct MemAccessResult {
+  util::Cycle latency = 0;
+  HitLevel level = HitLevel::kL1;
+  /// DRAM row-buffer outcome; meaningful only when level == kMemory.
+  dram::RowBufferOutcome dram_outcome = dram::RowBufferOutcome::kEmpty;
+};
+
+class Hierarchy {
+ public:
+  /// The hierarchy issues misses/writebacks/prefetch fills to `controller`
+  /// on behalf of `actor`. The controller must outlive the hierarchy.
+  Hierarchy(HierarchyConfig config, dram::MemoryController& controller,
+            dram::ActorId actor = dram::kAnyActor);
+
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
+
+  /// A demand load/store at `now`. `pc` feeds the prefetchers.
+  MemAccessResult access(dram::PhysAddr addr, util::Cycle now,
+                         bool is_write = false, std::uint64_t pc = 0);
+
+  /// x86 `clflush`: probes the LLC, writes back if dirty (write-back latency
+  /// lands on the critical path, §3.2), invalidates everywhere. Returns the
+  /// instruction latency.
+  util::Cycle clflush(dram::PhysAddr addr, util::Cycle now);
+
+  /// Evicts the line holding `addr` from the whole hierarchy by accessing a
+  /// conflict set of `l3.ways` lines (the §3.3 "baseline attack" primitive).
+  /// Returns the modeled eviction latency: serialized lookups plus
+  /// MLP-overlapped DRAM fills. Functionally displaces the target line.
+  ///
+  /// `avoid_bank`: a careful attacker builds the eviction set from
+  /// congruent lines that do NOT map to the signalling DRAM bank (DRAMA
+  /// reverse-engineers the address mapping for exactly this reason) —
+  /// otherwise the eviction's own fills would trash the row state being
+  /// measured. When the mapping makes avoidance impossible (pure
+  /// bank-interleaving aliases every congruent line into one bank), the
+  /// colliding lines are used anyway and the resulting self-noise is real.
+  util::Cycle evict_via_set(dram::PhysAddr addr, util::Cycle now,
+                            std::optional<dram::BankId> avoid_bank =
+                                std::nullopt);
+
+  /// True if any level holds the line.
+  [[nodiscard]] bool cached(dram::PhysAddr addr) const;
+
+  /// Non-temporal store: bypasses fills (writes combine to DRAM) but still
+  /// probes the hierarchy to maintain coherence. Returns latency.
+  util::Cycle store_nontemporal(dram::PhysAddr addr, util::Cycle now);
+
+  [[nodiscard]] const Cache& l1() const { return l1_; }
+  [[nodiscard]] const Cache& l2() const { return l2_; }
+  [[nodiscard]] const Cache& l3() const { return l3_; }
+
+  /// Total lookup latency of a full traversal miss (L1+L2+L3), the
+  /// cache-lookup overhead PiM operations avoid.
+  [[nodiscard]] util::Cycle full_lookup_latency() const;
+
+  void reset_stats();
+  /// Drops all cached lines without writebacks (test setup helper).
+  void drop_all();
+
+ private:
+  [[nodiscard]] LineAddr line_of(dram::PhysAddr addr) const {
+    return addr / config_.l1.line_bytes;
+  }
+  [[nodiscard]] dram::PhysAddr addr_of(LineAddr line) const {
+    return line * config_.l1.line_bytes;
+  }
+
+  /// Installs a line in L3/L2/L1 handling inclusive back-invalidation and
+  /// dirty writebacks. `now` anchors any writeback DRAM traffic.
+  void fill_all_levels(LineAddr line, util::Cycle now, bool dirty);
+  void handle_l3_eviction(const Eviction& ev, util::Cycle now);
+  void issue_prefetches(const std::vector<LineAddr>& candidates,
+                        util::Cycle now);
+
+  HierarchyConfig config_;
+  dram::MemoryController* controller_;
+  dram::ActorId actor_;
+  Cache l1_;
+  Cache l2_;
+  Cache l3_;
+  IpStridePrefetcher ip_stride_;
+  StreamerPrefetcher streamer_;
+  std::uint64_t prefetch_fills_ = 0;
+
+ public:
+  [[nodiscard]] std::uint64_t prefetch_fills() const {
+    return prefetch_fills_;
+  }
+};
+
+}  // namespace impact::cache

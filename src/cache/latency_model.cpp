@@ -1,0 +1,23 @@
+#include "cache/latency_model.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace impact::cache {
+
+util::Cycle LlcLatencyModel::latency(std::uint64_t size_bytes,
+                                     std::uint32_t ways) const {
+  util::check(size_bytes > 0 && ways > 0,
+              "LlcLatencyModel: geometry must be positive");
+  const double size_scale = std::sqrt(static_cast<double>(size_bytes) /
+                                      static_cast<double>(anchor_bytes));
+  const double way_scale =
+      1.0 + way_factor * (static_cast<double>(ways) -
+                          static_cast<double>(anchor_ways));
+  const double cycles =
+      static_cast<double>(anchor_latency) * size_scale * way_scale;
+  return static_cast<util::Cycle>(std::llround(std::max(cycles, 4.0)));
+}
+
+}  // namespace impact::cache

@@ -1,0 +1,31 @@
+// CACTI-style LLC lookup-latency scaling.
+//
+// §3.3: "To calculate the cache access latency with increasing LLC sizes, we
+// followed the same methodology used in prior works [CACTI 6.0]". CACTI's
+// H-tree wire + bank access model grows close to the square root of the
+// array size; associativity adds a mild linear term for wider tag match and
+// way multiplexing. We anchor the curve at Table 2's point: an 8 MiB
+// (2 MiB/core x 4 cores), 16-way LLC with a 32-cycle lookup.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace impact::cache {
+
+struct LlcLatencyModel {
+  /// Anchor configuration (Table 2).
+  std::uint64_t anchor_bytes = 8ull * 1024 * 1024;
+  std::uint32_t anchor_ways = 16;
+  util::Cycle anchor_latency = 32;
+
+  /// Per-way sensitivity of the way-mux / tag-compare path.
+  double way_factor = 0.015;
+
+  /// Lookup latency (cycles) of an LLC with the given geometry.
+  [[nodiscard]] util::Cycle latency(std::uint64_t size_bytes,
+                                    std::uint32_t ways) const;
+};
+
+}  // namespace impact::cache

@@ -1,0 +1,101 @@
+#include "cache/prefetcher.hpp"
+
+#include <algorithm>
+
+namespace impact::cache {
+
+IpStridePrefetcher::IpStridePrefetcher(std::uint32_t entries,
+                                       std::uint32_t degree)
+    : degree_(degree), table_(entries) {}
+
+std::vector<LineAddr> IpStridePrefetcher::observe(std::uint64_t pc,
+                                                  LineAddr line) {
+  Entry& e = table_[pc % table_.size()];
+  std::vector<LineAddr> out;
+  if (e.valid && e.pc == pc) {
+    const std::int64_t stride =
+        static_cast<std::int64_t>(line) - static_cast<std::int64_t>(e.last_line);
+    if (stride == e.stride && stride != 0) {
+      e.confidence = static_cast<std::uint8_t>(std::min<int>(e.confidence + 1,
+                                                             3));
+    } else {
+      e.stride = stride;
+      e.confidence = e.confidence > 0 ? static_cast<std::uint8_t>(
+                                            e.confidence - 1)
+                                      : 0;
+    }
+    e.last_line = line;
+    if (e.confidence >= 2 && e.stride != 0) {
+      for (std::uint32_t d = 1; d <= degree_; ++d) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(line) + e.stride * static_cast<std::int64_t>(d);
+        if (target >= 0) out.push_back(static_cast<LineAddr>(target));
+      }
+    }
+  } else {
+    e = Entry{true, pc, line, 0, 0};
+  }
+  return out;
+}
+
+StreamerPrefetcher::StreamerPrefetcher(std::uint32_t streams,
+                                       std::uint32_t degree)
+    : degree_(degree), streams_(streams) {}
+
+std::vector<LineAddr> StreamerPrefetcher::observe(std::uint64_t /*pc*/,
+                                                  LineAddr line) {
+  ++tick_;
+  const std::uint64_t region = line >> kRegionShift;
+  std::vector<LineAddr> out;
+
+  // Find a tracking stream for this region.
+  Stream* found = nullptr;
+  for (auto& s : streams_) {
+    if (s.valid && s.region == region) {
+      found = &s;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    // Allocate the LRU stream.
+    Stream* victim = &streams_[0];
+    for (auto& s : streams_) {
+      if (!s.valid) {
+        victim = &s;
+        break;
+      }
+      if (s.lru < victim->lru) victim = &s;
+    }
+    *victim = Stream{true, region, line, 0, 0, tick_};
+    return out;
+  }
+
+  found->lru = tick_;
+  const std::int64_t delta = static_cast<std::int64_t>(line) -
+                             static_cast<std::int64_t>(found->last_line);
+  const std::int8_t dir = delta > 0 ? 1 : (delta < 0 ? -1 : 0);
+  if (dir != 0 && dir == found->direction) {
+    found->confidence =
+        static_cast<std::uint8_t>(std::min<int>(found->confidence + 1, 3));
+  } else if (dir != 0) {
+    found->direction = dir;
+    found->confidence = 1;
+  }
+  found->last_line = line;
+
+  if (found->confidence >= 2) {
+    for (std::uint32_t d = 1; d <= degree_; ++d) {
+      const std::int64_t target = static_cast<std::int64_t>(line) +
+                                  static_cast<std::int64_t>(found->direction) *
+                                      static_cast<std::int64_t>(d);
+      // Stay inside the 4 KiB region, as real streamers do.
+      if (target >= 0 &&
+          (static_cast<std::uint64_t>(target) >> kRegionShift) == region) {
+        out.push_back(static_cast<LineAddr>(target));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace impact::cache

@@ -1,0 +1,72 @@
+// Hardware prefetchers (Table 2: IP-stride at L1, streamer at L2).
+//
+// In this simulator, prefetchers are the main source of *noise* for the
+// attacks (§5.1: "We simulate hardware prefetchers and page table walkers to
+// induce noise"): they pull extra lines into the caches and trigger DRAM
+// activations the attacker did not issue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace impact::cache {
+
+/// Common interface: observe one demand access, emit prefetch candidates.
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// `pc` is the (simulated) instruction address of the load/store.
+  /// Returns line addresses to prefetch.
+  virtual std::vector<LineAddr> observe(std::uint64_t pc, LineAddr line) = 0;
+};
+
+/// Classic per-PC stride predictor (Fu & Patel, MICRO'92).
+class IpStridePrefetcher final : public Prefetcher {
+ public:
+  explicit IpStridePrefetcher(std::uint32_t entries = 64,
+                              std::uint32_t degree = 2);
+
+  std::vector<LineAddr> observe(std::uint64_t pc, LineAddr line) override;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t pc = 0;
+    LineAddr last_line = 0;
+    std::int64_t stride = 0;
+    std::uint8_t confidence = 0;
+  };
+
+  std::uint32_t degree_;
+  std::vector<Entry> table_;
+};
+
+/// Next-line stream prefetcher confined to 4 KiB regions (Chen & Baer).
+class StreamerPrefetcher final : public Prefetcher {
+ public:
+  explicit StreamerPrefetcher(std::uint32_t streams = 16,
+                              std::uint32_t degree = 2);
+
+  std::vector<LineAddr> observe(std::uint64_t pc, LineAddr line) override;
+
+ private:
+  struct Stream {
+    bool valid = false;
+    std::uint64_t region = 0;  ///< line >> kRegionShift.
+    LineAddr last_line = 0;
+    std::int8_t direction = 0;
+    std::uint8_t confidence = 0;
+    std::uint64_t lru = 0;
+  };
+
+  static constexpr std::uint32_t kRegionShift = 6;  // 64 lines = 4 KiB.
+
+  std::uint32_t degree_;
+  std::vector<Stream> streams_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace impact::cache

@@ -1,0 +1,56 @@
+#include "cache/replacement.hpp"
+
+namespace impact::cache {
+
+ReplacementState::ReplacementState(ReplacementKind kind, std::uint32_t ways)
+    : kind_(kind), ways_(ways) {
+  util::check(ways > 0, "ReplacementState requires at least one way");
+  if (kind_ == ReplacementKind::kLru) {
+    meta_.resize(ways);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      meta_[w] = static_cast<std::uint8_t>(w);  // Arbitrary initial order.
+    }
+  } else {
+    meta_.assign(ways, kRrpvMax);  // All lines distant (empty set).
+  }
+}
+
+void ReplacementState::touch(std::uint32_t way) {
+  util::check(way < ways_, "ReplacementState::touch: way out of range");
+  if (kind_ == ReplacementKind::kLru) {
+    const std::uint8_t old = meta_[way];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (meta_[w] < old) ++meta_[w];
+    }
+    meta_[way] = 0;
+  } else {
+    meta_[way] = 0;  // SRRIP hit promotion: near-immediate re-reference.
+  }
+}
+
+void ReplacementState::insert(std::uint32_t way) {
+  util::check(way < ways_, "ReplacementState::insert: way out of range");
+  if (kind_ == ReplacementKind::kLru) {
+    touch(way);
+  } else {
+    meta_[way] = kRrpvInsert;
+  }
+}
+
+std::uint32_t ReplacementState::victim() {
+  if (kind_ == ReplacementKind::kLru) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (meta_[w] == ways_ - 1) return w;
+    }
+    return ways_ - 1;  // Unreachable for well-formed state.
+  }
+  // SRRIP: find leftmost RRPV==max, ageing all entries until one appears.
+  for (;;) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (meta_[w] == kRrpvMax) return w;
+    }
+    for (std::uint32_t w = 0; w < ways_; ++w) ++meta_[w];
+  }
+}
+
+}  // namespace impact::cache

@@ -1,0 +1,51 @@
+// Replacement policies for set-associative structures (caches, TLBs).
+//
+// Table 2 uses LRU in the L1 and SRRIP (Jaleel et al., ISCA'10) in the L2/L3.
+// Policies are modelled per set over way indices; the cache owns the tags.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace impact::cache {
+
+enum class ReplacementKind : std::uint8_t { kLru, kSrrip };
+
+[[nodiscard]] constexpr const char* to_string(ReplacementKind k) {
+  switch (k) {
+    case ReplacementKind::kLru:
+      return "LRU";
+    case ReplacementKind::kSrrip:
+      return "SRRIP";
+  }
+  return "?";
+}
+
+/// Replacement state for one set. Ways are indexed 0..ways-1.
+class ReplacementState {
+ public:
+  ReplacementState(ReplacementKind kind, std::uint32_t ways);
+
+  /// Marks `way` as just accessed (hit promotion).
+  void touch(std::uint32_t way);
+
+  /// Marks `way` as just filled (insertion).
+  void insert(std::uint32_t way);
+
+  /// Chooses the way to evict. For SRRIP this ages RRPVs as a side effect
+  /// (the standard search-and-increment loop).
+  [[nodiscard]] std::uint32_t victim();
+
+ private:
+  ReplacementKind kind_;
+  std::uint32_t ways_;
+  // LRU: lower = more recent. SRRIP: 2-bit re-reference prediction values.
+  std::vector<std::uint8_t> meta_;
+
+  static constexpr std::uint8_t kRrpvMax = 3;     // 2-bit RRPV.
+  static constexpr std::uint8_t kRrpvInsert = 2;  // Long re-reference.
+};
+
+}  // namespace impact::cache

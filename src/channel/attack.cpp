@@ -1,0 +1,23 @@
+#include "channel/attack.hpp"
+
+#include "util/rng.hpp"
+
+namespace impact::channel {
+
+ChannelReport CovertAttack::measure(std::size_t bits, std::size_t messages,
+                                    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  ChannelReport total;
+  for (std::size_t m = 0; m < messages; ++m) {
+    const auto msg = util::BitVec::random(bits, rng);
+    auto result = transmit(msg);
+    total.bits_total += result.report.bits_total;
+    total.bits_correct += result.report.bits_correct;
+    total.elapsed_cycles += result.report.elapsed_cycles;
+    total.sender_cycles += result.report.sender_cycles;
+    total.receiver_cycles += result.report.receiver_cycles;
+  }
+  return total;
+}
+
+}  // namespace impact::channel

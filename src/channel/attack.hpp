@@ -1,0 +1,33 @@
+// The common interface every covert-channel attack implements.
+//
+// Benches sweep attacks uniformly: construct against a system
+// configuration, transmit random messages, report goodput / error rate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "channel/report.hpp"
+#include "util/bitvec.hpp"
+
+namespace impact::channel {
+
+class CovertAttack {
+ public:
+  virtual ~CovertAttack() = default;
+
+  /// Short identifier used in tables ("IMPACT-PnM", "DRAMA-clflush", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Transmits `message` from the attack's sender to its receiver and
+  /// returns what arrived, with full timing accounting. Implementations
+  /// must be reusable: consecutive calls transmit independent messages.
+  virtual TransmissionResult transmit(const util::BitVec& message) = 0;
+
+  /// Convenience: transmits `messages` random messages of `bits` bits and
+  /// returns the aggregate report.
+  ChannelReport measure(std::size_t bits, std::size_t messages,
+                        std::uint64_t seed);
+};
+
+}  // namespace impact::channel

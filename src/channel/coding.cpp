@@ -1,0 +1,125 @@
+#include "channel/coding.hpp"
+
+#include "util/assert.hpp"
+
+namespace impact::channel {
+
+util::BitVec encode_repetition(const util::BitVec& message, std::size_t r) {
+  util::check(r >= 1 && r % 2 == 1, "repetition factor must be odd");
+  util::BitVec out;
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    for (std::size_t k = 0; k < r; ++k) out.push_back(message.get(i));
+  }
+  return out;
+}
+
+util::BitVec decode_repetition(const util::BitVec& coded, std::size_t r) {
+  util::check(r >= 1 && coded.size() % r == 0,
+              "coded length must be a multiple of r");
+  util::BitVec out;
+  for (std::size_t i = 0; i < coded.size(); i += r) {
+    std::size_t ones = 0;
+    for (std::size_t k = 0; k < r; ++k) ones += coded.get(i + k) ? 1 : 0;
+    out.push_back(ones * 2 > r);
+  }
+  return out;
+}
+
+namespace {
+
+// Hamming(7,4) with bit layout [p1 p2 d1 p3 d2 d3 d4] (1-indexed
+// positions 1..7; parity bits at the powers of two).
+void encode_block(const bool d[4], bool out[7]) {
+  out[2] = d[0];
+  out[4] = d[1];
+  out[5] = d[2];
+  out[6] = d[3];
+  out[0] = d[0] ^ d[1] ^ d[3];  // p1 covers positions 1,3,5,7.
+  out[1] = d[0] ^ d[2] ^ d[3];  // p2 covers positions 2,3,6,7.
+  out[3] = d[1] ^ d[2] ^ d[3];  // p3 covers positions 4,5,6,7.
+}
+
+void decode_block(bool c[7], bool d[4]) {
+  const int s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+  const int s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+  const int s3 = c[3] ^ c[4] ^ c[5] ^ c[6];
+  const int syndrome = s1 + (s2 << 1) + (s3 << 2);
+  if (syndrome != 0) c[syndrome - 1] = !c[syndrome - 1];
+  d[0] = c[2];
+  d[1] = c[4];
+  d[2] = c[5];
+  d[3] = c[6];
+}
+
+}  // namespace
+
+util::BitVec encode_hamming74(const util::BitVec& message) {
+  util::BitVec out;
+  for (std::size_t i = 0; i < message.size(); i += 4) {
+    bool d[4] = {false, false, false, false};
+    for (std::size_t k = 0; k < 4 && i + k < message.size(); ++k) {
+      d[k] = message.get(i + k);
+    }
+    bool c[7];
+    encode_block(d, c);
+    for (bool bit : c) out.push_back(bit);
+  }
+  return out;
+}
+
+util::BitVec decode_hamming74(const util::BitVec& coded, std::size_t bits) {
+  util::check(coded.size() % 7 == 0,
+              "Hamming(7,4) coded length must be a multiple of 7");
+  util::check(coded.size() / 7 * 4 >= bits,
+              "coded stream shorter than the requested message");
+  util::BitVec out;
+  for (std::size_t i = 0; i < coded.size() && out.size() < bits; i += 7) {
+    bool c[7];
+    for (std::size_t k = 0; k < 7; ++k) c[k] = coded.get(i + k);
+    bool d[4];
+    decode_block(c, d);
+    for (std::size_t k = 0; k < 4 && out.size() < bits; ++k) {
+      out.push_back(d[k]);
+    }
+  }
+  return out;
+}
+
+CodedResult transmit_coded(CovertAttack& attack,
+                           const util::BitVec& message, CodeKind code,
+                           util::Frequency freq) {
+  util::BitVec wire;
+  switch (code) {
+    case CodeKind::kNone:
+      wire = message;
+      break;
+    case CodeKind::kRepetition3:
+      wire = encode_repetition(message, 3);
+      break;
+    case CodeKind::kHamming74:
+      wire = encode_hamming74(message);
+      break;
+  }
+  const auto tx = attack.transmit(wire);
+
+  CodedResult result;
+  result.raw_error_rate = tx.report.error_rate();
+  switch (code) {
+    case CodeKind::kNone:
+      result.decoded = tx.decoded;
+      break;
+    case CodeKind::kRepetition3:
+      result.decoded = decode_repetition(tx.decoded, 3);
+      break;
+    case CodeKind::kHamming74:
+      result.decoded = decode_hamming74(tx.decoded, message.size());
+      break;
+  }
+  result.residual_errors = message.hamming_distance(result.decoded);
+  const double correct =
+      static_cast<double>(message.size() - result.residual_errors);
+  result.goodput_mbps = freq.mbps(correct, tx.report.elapsed_cycles);
+  return result;
+}
+
+}  // namespace impact::channel

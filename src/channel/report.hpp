@@ -1,0 +1,60 @@
+// Result accounting for covert/side-channel transmissions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/bitvec.hpp"
+#include "util/units.hpp"
+
+namespace impact::channel {
+
+/// Outcome of transmitting a message across a channel.
+///
+/// Throughput follows §5.1: it is computed over *successfully* leaked bits
+/// only, i.e. errors reduce throughput rather than inflating it.
+struct ChannelReport {
+  std::size_t bits_total = 0;
+  std::size_t bits_correct = 0;
+  util::Cycle elapsed_cycles = 0;   ///< Wall time, start to final decode.
+  util::Cycle sender_cycles = 0;    ///< Sender busy time.
+  util::Cycle receiver_cycles = 0;  ///< Receiver busy time.
+
+  [[nodiscard]] std::size_t bit_errors() const {
+    return bits_total - bits_correct;
+  }
+  [[nodiscard]] double error_rate() const {
+    return bits_total == 0
+               ? 0.0
+               : static_cast<double>(bit_errors()) /
+                     static_cast<double>(bits_total);
+  }
+  /// Goodput in Mb/s at the given core frequency.
+  [[nodiscard]] double throughput_mbps(util::Frequency freq) const {
+    return freq.mbps(static_cast<double>(bits_correct), elapsed_cycles);
+  }
+  /// Raw signalling rate ignoring errors.
+  [[nodiscard]] double raw_mbps(util::Frequency freq) const {
+    return freq.mbps(static_cast<double>(bits_total), elapsed_cycles);
+  }
+  [[nodiscard]] double cycles_per_bit() const {
+    return bits_total == 0 ? 0.0
+                           : static_cast<double>(elapsed_cycles) /
+                                 static_cast<double>(bits_total);
+  }
+};
+
+/// A transmitted message plus what the receiver decoded.
+struct TransmissionResult {
+  util::BitVec sent;
+  util::BitVec decoded;
+  ChannelReport report;
+};
+
+/// Fills in report.bits_total / bits_correct from the two messages.
+inline void score(TransmissionResult& r) {
+  r.report.bits_total = r.sent.size();
+  r.report.bits_correct = r.sent.size() - r.sent.hamming_distance(r.decoded);
+}
+
+}  // namespace impact::channel

@@ -1,0 +1,56 @@
+// Latency-threshold calibration for row-buffer decoding.
+//
+// Receivers decode a bit by comparing a measured latency against a
+// threshold separating the "no interference" cluster (row hit / empty
+// activation) from the "interference" cluster (row conflict). Attacks
+// calibrate this threshold in a warm-up phase by transmitting known bits —
+// the same procedure a real attacker runs, and the analogue of the paper's
+// fixed 150-cycle threshold (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace impact::channel {
+
+class ThresholdCalibrator {
+ public:
+  void add_low(double latency) { low_.push_back(latency); }
+  void add_high(double latency) { high_.push_back(latency); }
+
+  [[nodiscard]] bool ready() const { return !low_.empty() && !high_.empty(); }
+
+  /// Decision threshold between the clusters: the midpoint of the cluster
+  /// extremes when they are cleanly separated, falling back to the midpoint
+  /// of the clusters' inner quartiles when noise makes the tails overlap
+  /// (occasional prefetch/walk interference during calibration).
+  [[nodiscard]] double threshold() const {
+    const double low_max = util::percentile(low_, 100.0);
+    const double high_min = util::percentile(high_, 0.0);
+    if (low_max < high_min) return (low_max + high_min) / 2.0;
+    return (util::percentile(low_, 75.0) + util::percentile(high_, 25.0)) /
+           2.0;
+  }
+
+  /// Margin between the clusters (distinguishability of the channel).
+  [[nodiscard]] double margin() const {
+    return util::percentile(high_, 0.0) - util::percentile(low_, 100.0);
+  }
+
+  [[nodiscard]] const std::vector<double>& low() const { return low_; }
+  [[nodiscard]] const std::vector<double>& high() const { return high_; }
+
+ private:
+  std::vector<double> low_;
+  std::vector<double> high_;
+};
+
+/// Decodes one latency sample against a calibrated threshold:
+/// above-threshold means interference, i.e. logic-1 in IMPACT's encoding.
+[[nodiscard]] inline bool decode_bit(double latency, double threshold) {
+  return latency > threshold;
+}
+
+}  // namespace impact::channel

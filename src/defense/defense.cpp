@@ -1,0 +1,48 @@
+#include "defense/defense.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace impact::defense {
+
+void apply_policy(sys::MemorySystem& system, DefenseKind defense) {
+  switch (defense) {
+    case DefenseKind::kNone:
+      system.controller().set_policy(dram::RowPolicy::kOpenRow);
+      break;
+    case DefenseKind::kClosedRow:
+      system.controller().set_policy(dram::RowPolicy::kClosedRow);
+      break;
+    case DefenseKind::kConstantTime:
+      system.controller().set_policy(dram::RowPolicy::kConstantTime);
+      break;
+    case DefenseKind::kAdaptiveRow:
+      system.controller().set_policy(dram::RowPolicy::kAdaptive);
+      break;
+    case DefenseKind::kMemoryPartitioning:
+      util::check(false,
+                  "MPR needs an ownership assignment: use partition_banks");
+      break;
+  }
+}
+
+void partition_banks(sys::MemorySystem& system, dram::ActorId first,
+                     dram::ActorId second) {
+  auto& controller = system.controller();
+  for (dram::BankId b = 0; b < controller.banks(); ++b) {
+    controller.set_partition_owner(b, (b % 2 == 0) ? first : second);
+  }
+}
+
+NeutralizationReport check_neutralized(channel::CovertAttack& attack,
+                                       std::size_t bits, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto message = util::BitVec::random(bits, rng);
+  const auto result = attack.transmit(message);
+  NeutralizationReport report;
+  report.bits = result.report.bits_total;
+  report.error_rate = result.report.error_rate();
+  return report;
+}
+
+}  // namespace impact::defense

@@ -1,0 +1,72 @@
+// The three §6 defenses and security-property checkers.
+//
+// CRP and CTD are memory-controller row policies (implemented in
+// src/dram); MPR is bank-level partitioning (implemented in the
+// controller's ownership table). This module provides the configuration
+// surface benches and tests use, plus checkers that verify a defense
+// actually *neutralizes* the timing channel (receiver decodes at chance
+// level) rather than merely slowing it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "channel/attack.hpp"
+#include "dram/controller.hpp"
+#include "sys/system.hpp"
+
+namespace impact::defense {
+
+enum class DefenseKind : std::uint8_t {
+  kNone,
+  kMemoryPartitioning,  ///< MPR: one owner per DRAM bank.
+  kClosedRow,           ///< CRP: precharge after every access.
+  kConstantTime,        ///< CTD: pad every access to worst-case latency.
+  kAdaptiveRow,         ///< Extension: history-based open/close policy —
+                        ///< cheaper than CRP, but only *degrades* the
+                        ///< channel rather than eliminating it.
+};
+
+[[nodiscard]] constexpr const char* to_string(DefenseKind d) {
+  switch (d) {
+    case DefenseKind::kNone:
+      return "none";
+    case DefenseKind::kMemoryPartitioning:
+      return "MPR";
+    case DefenseKind::kClosedRow:
+      return "CRP";
+    case DefenseKind::kConstantTime:
+      return "CTD";
+    case DefenseKind::kAdaptiveRow:
+      return "adaptive";
+  }
+  return "?";
+}
+
+/// Applies a row-policy defense to a running system (CRP / CTD); kNone
+/// restores the open-row baseline. MPR must be applied via
+/// `partition_banks` because it needs an ownership assignment.
+void apply_policy(sys::MemorySystem& system, DefenseKind defense);
+
+/// MPR: splits the device's banks between two principals (even banks to
+/// `first`, odd banks to `second`), denying all cross-access.
+void partition_banks(sys::MemorySystem& system, dram::ActorId first,
+                     dram::ActorId second);
+
+/// Verdict of a neutralization check.
+struct NeutralizationReport {
+  double error_rate = 0.0;
+  std::size_t bits = 0;
+
+  /// A channel is neutralized when the receiver performs at (or near)
+  /// chance level: no mutual information survives.
+  [[nodiscard]] bool neutralized() const { return error_rate >= 0.35; }
+};
+
+/// Transmits random messages over `attack` and reports whether the channel
+/// still carries information.
+[[nodiscard]] NeutralizationReport check_neutralized(
+    channel::CovertAttack& attack, std::size_t bits = 256,
+    std::uint64_t seed = 17);
+
+}  // namespace impact::defense

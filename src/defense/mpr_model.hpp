@@ -1,0 +1,52 @@
+// Cost model for bank-level memory partitioning (MPR, §6).
+//
+// The paper lists MPR's three drawbacks qualitatively: it caps the number
+// of concurrently running applications, wastes memory through bank-sized
+// allocation granularity, and forbids sharing (duplicating shared data).
+// This model quantifies all three for a given device and workload mix so
+// the defense benches can report them next to CRP/CTD's cycle overheads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.hpp"
+
+namespace impact::defense {
+
+/// One application's memory demand.
+struct AppDemand {
+  std::uint64_t private_bytes = 0;  ///< Non-shareable footprint.
+  std::uint64_t shared_bytes = 0;   ///< Normally shared (library, input).
+};
+
+struct MprReport {
+  std::uint32_t total_banks = 0;
+  std::uint32_t banks_allocated = 0;
+  std::uint32_t apps_admitted = 0;   ///< Of the requested mix.
+  std::uint32_t apps_rejected = 0;   ///< Did not fit / no banks left.
+  std::uint64_t bytes_requested = 0; ///< Σ private + shared-after-copy.
+  std::uint64_t bytes_allocated = 0; ///< Bank-granular allocation.
+  std::uint64_t duplication_bytes = 0;  ///< Extra copies of shared data.
+
+  /// Fraction of allocated capacity actually holding data.
+  [[nodiscard]] double utilization() const {
+    return bytes_allocated == 0
+               ? 0.0
+               : static_cast<double>(bytes_requested) /
+                     static_cast<double>(bytes_allocated);
+  }
+};
+
+/// Simulates MPR admission: each app receives exclusive banks covering its
+/// private footprint plus a private copy of its shared data (sharing is
+/// disabled under MPR). Apps are admitted in order until banks run out.
+[[nodiscard]] MprReport evaluate_mpr(const dram::DramConfig& device,
+                                     const std::vector<AppDemand>& apps);
+
+/// The same mix on an unpartitioned device (shared data stored once,
+/// page-granular allocation) for comparison.
+[[nodiscard]] MprReport evaluate_unpartitioned(
+    const dram::DramConfig& device, const std::vector<AppDemand>& apps);
+
+}  // namespace impact::defense

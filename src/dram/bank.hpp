@@ -1,0 +1,118 @@
+// Per-bank row-buffer state machine.
+//
+// A bank tracks which row (if any) its row buffer holds, the earliest cycle
+// at which it can accept the next command, and when the open row was last
+// touched (for the open-row idle timeout). Multiple simulated actors access
+// the same bank with their own local clocks; the bank serializes them by
+// starting each command at max(actor_time, bank_ready) — this is exactly the
+// queuing delay a real per-bank command queue imposes, and it is the
+// mechanism through which a sender's activity becomes visible in a
+// receiver's measured latency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dram/config.hpp"
+#include "dram/types.hpp"
+#include "util/units.hpp"
+
+namespace impact::dram {
+
+/// Result of one bank access as observed by the issuing actor.
+struct BankAccessResult {
+  util::Cycle start = 0;       ///< Cycle the command actually began.
+  util::Cycle completion = 0;  ///< Cycle the data burst finished.
+  /// For RowClone: cycle at which the controller has issued both
+  /// activations (any required precharge done) and can acknowledge the
+  /// command to the core; the copy itself completes at `completion`. For
+  /// ordinary accesses, equals `completion`.
+  util::Cycle ack = 0;
+  RowBufferOutcome outcome = RowBufferOutcome::kEmpty;
+
+  /// Latency from the actor's point of view (issue -> data), including any
+  /// queuing delay behind other actors' commands.
+  [[nodiscard]] util::Cycle latency(util::Cycle issued_at) const {
+    return completion - issued_at;
+  }
+};
+
+/// Counters for workload characterization (row-buffer locality, Fig. 11).
+struct BankStats {
+  std::uint64_t hits = 0;
+  std::uint64_t empties = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t rowclones = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const {
+    return hits + empties + conflicts;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const auto n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+
+  BankStats& operator+=(const BankStats& o) {
+    hits += o.hits;
+    empties += o.empties;
+    conflicts += o.conflicts;
+    activations += o.activations;
+    rowclones += o.rowclones;
+    return *this;
+  }
+};
+
+class Bank {
+ public:
+  Bank(const Timing& timing, RowPolicy policy)
+      : timing_(&timing), policy_(policy) {}
+
+  /// Performs a read/write-class access to `row` at actor time `now`.
+  BankAccessResult access(RowId row, util::Cycle now);
+
+  /// Performs an in-subarray RowClone (two back-to-back activations). On
+  /// completion the destination row is latched in the row buffer.
+  BankAccessResult rowclone(RowId src, RowId dst, util::Cycle now);
+
+  /// Row currently latched in the row buffer as of cycle `now` (accounting
+  /// for the idle timeout), or nullopt when precharged. Does not modify
+  /// observable state other than applying an elapsed timeout.
+  [[nodiscard]] std::optional<RowId> open_row(util::Cycle now);
+
+  /// Earliest cycle the bank can begin a new command.
+  [[nodiscard]] util::Cycle ready_at() const { return ready_at_; }
+
+  /// Forces an external delay: the bank may not start commands before
+  /// `cycle`. Used for atomic multi-bank RowClone gating.
+  void stall_until(util::Cycle cycle);
+
+  /// Closes the row buffer immediately (e.g. a PRE from a refresh or a
+  /// partition-flush); the precharge occupies the bank for tRP.
+  void precharge(util::Cycle now);
+
+  [[nodiscard]] const BankStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BankStats{}; }
+
+  [[nodiscard]] RowPolicy policy() const { return policy_; }
+  void set_policy(RowPolicy p) { policy_ = p; }
+
+ private:
+  /// Applies the open-row idle timeout as of `now` and classifies what the
+  /// requested activation will see.
+  RowBufferOutcome resolve_outcome(RowId row, util::Cycle start);
+
+  const Timing* timing_;
+  RowPolicy policy_;
+  std::optional<RowId> open_row_;
+  util::Cycle ready_at_ = 0;
+  util::Cycle last_touch_ = 0;     ///< Last command touching the open row.
+  util::Cycle last_activate_ = 0;  ///< For the tRAS constraint.
+  util::Cycle refresh_epoch_ = 0;  ///< Last tREFI window already applied.
+  /// Adaptive policy: 2-bit keep-open confidence (hits raise, conflicts
+  /// lower; the row auto-precharges while confidence is low).
+  std::uint8_t open_confidence_ = 2;
+  BankStats stats_;
+};
+
+}  // namespace impact::dram

@@ -1,0 +1,141 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace impact::dram {
+
+MemoryController::MemoryController(DramConfig config, MappingScheme scheme,
+                                   bool with_data)
+    : config_(config),
+      mapping_(config, scheme),
+      timing_(config.derived_timing()) {
+  config_.validate();
+  banks_.reserve(config_.total_banks());
+  for (std::uint32_t i = 0; i < config_.total_banks(); ++i) {
+    banks_.emplace_back(timing_, config_.policy);
+  }
+  owners_.assign(config_.total_banks(), kAnyActor);
+  if (with_data) data_.emplace(config_);
+}
+
+Bank& MemoryController::bank_for(BankId id) {
+  util::check(id < banks_.size(), "MemoryController: bank out of range");
+  return banks_[id];
+}
+
+bool MemoryController::partition_rejects(BankId bank, ActorId actor) {
+  if (can_access(bank, actor)) return false;
+  ++partition_faults_;
+  return true;
+}
+
+AccessResult MemoryController::access(PhysAddr addr, util::Cycle now,
+                                      ActorId actor) {
+  const DramAddress loc = mapping_.decode(addr);
+  return access_row(loc.bank, loc.row, now, actor);
+}
+
+AccessResult MemoryController::access_row(BankId bank, RowId row,
+                                          util::Cycle now, ActorId actor) {
+  util::check(!partition_rejects(bank, actor),
+              "MemoryController: bank partition violation");
+  const util::Cycle issued = now;
+  const util::Cycle at_bank = now + issue_overhead_;
+  const BankAccessResult r = bank_for(bank).access(row, at_bank);
+  AccessResult out;
+  out.bank = bank;
+  out.outcome = r.outcome;
+  out.completion = r.completion;
+  out.ack = r.ack;
+  out.latency = r.completion - issued;
+  return out;
+}
+
+RowCloneResult MemoryController::rowclone(std::span<const RowCloneLeg> legs,
+                                          util::Cycle now, bool atomic,
+                                          ActorId actor) {
+  util::check(!legs.empty(), "MemoryController::rowclone: no legs");
+  for (const auto& leg : legs) {
+    util::check(!partition_rejects(leg.bank, actor),
+                "MemoryController: rowclone partition violation");
+    util::check(leg.src / config_.subarray_rows ==
+                    leg.dst / config_.subarray_rows,
+                "RowClone FPM requires src and dst in the same subarray");
+  }
+  const util::Cycle issued = now;
+  const util::Cycle at_bank = now + issue_overhead_;
+  RowCloneResult out;
+  out.legs.reserve(legs.size());
+  util::Cycle max_completion = 0;
+  util::Cycle max_ack = 0;
+  for (const auto& leg : legs) {
+    const BankAccessResult r = bank_for(leg.bank).rowclone(leg.src, leg.dst,
+                                                           at_bank);
+    if (data_) data_->clone_row(leg.bank, leg.src, leg.dst);
+    AccessResult a;
+    a.bank = leg.bank;
+    a.outcome = r.outcome;
+    a.completion = r.completion;
+    a.ack = r.ack;
+    a.latency = r.completion - issued;
+    max_completion = std::max(max_completion, r.completion);
+    max_ack = std::max(max_ack, r.ack);
+    out.legs.push_back(a);
+  }
+  out.completion = max_completion;
+  out.latency = max_completion - issued;
+  out.ack_latency = max_ack - issued;
+  if (atomic) {
+    // The §5.1 threat-model guarantee: no other DRAM command starts on any
+    // bank until every leg of this RowClone has completed.
+    for (auto& b : banks_) b.stall_until(max_completion);
+  }
+  return out;
+}
+
+std::optional<RowId> MemoryController::open_row(BankId bank, util::Cycle now) {
+  return bank_for(bank).open_row(now);
+}
+
+void MemoryController::precharge(BankId bank, util::Cycle now) {
+  bank_for(bank).precharge(now + issue_overhead_);
+}
+
+void MemoryController::set_policy(RowPolicy policy) {
+  config_.policy = policy;
+  for (auto& b : banks_) b.set_policy(policy);
+}
+
+void MemoryController::set_partition_owner(BankId bank, ActorId owner) {
+  util::check(bank < owners_.size(),
+              "MemoryController::set_partition_owner: bank out of range");
+  owners_[bank] = owner;
+}
+
+bool MemoryController::can_access(BankId bank, ActorId actor) const {
+  util::check(bank < owners_.size(),
+              "MemoryController::can_access: bank out of range");
+  const ActorId owner = owners_[bank];
+  return owner == kAnyActor || actor == kAnyActor || owner == actor;
+}
+
+const BankStats& MemoryController::bank_stats(BankId bank) const {
+  util::check(bank < banks_.size(),
+              "MemoryController::bank_stats: bank out of range");
+  return banks_[bank].stats();
+}
+
+BankStats MemoryController::total_stats() const {
+  BankStats total;
+  for (const auto& b : banks_) total += b.stats();
+  return total;
+}
+
+void MemoryController::reset_stats() {
+  for (auto& b : banks_) b.reset_stats();
+  partition_faults_ = 0;
+}
+
+}  // namespace impact::dram

@@ -1,0 +1,130 @@
+// The memory controller: command scheduling, row policies, partitioning,
+// masked multi-bank RowClone.
+//
+// This is the single point through which every memory request in the
+// simulator reaches DRAM — CPU cache misses, PEI operations executed by
+// near-bank compute units, DMA transfers, and RowClone commands. It applies
+// the configured row-buffer policy (open / closed / constant-time), enforces
+// optional bank-level partitioning (the MPR defense), and fans masked
+// RowClone requests out to the addressed banks in parallel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dram/address_mapping.hpp"
+#include "dram/bank.hpp"
+#include "dram/config.hpp"
+#include "dram/data_array.hpp"
+#include "dram/types.hpp"
+#include "util/units.hpp"
+
+namespace impact::dram {
+
+/// Identifies a simulated security principal (process) for partitioning.
+using ActorId = std::uint32_t;
+inline constexpr ActorId kAnyActor = 0xFFFFFFFFu;
+
+/// One memory access as observed by its issuer.
+struct AccessResult {
+  util::Cycle latency = 0;     ///< Issue -> data, incl. queuing delay.
+  util::Cycle completion = 0;  ///< Absolute completion cycle.
+  util::Cycle ack = 0;         ///< Command acknowledgement (see Bank).
+  RowBufferOutcome outcome = RowBufferOutcome::kEmpty;
+  BankId bank = 0;
+};
+
+/// One bank-level leg of a (possibly multi-bank) RowClone.
+struct RowCloneLeg {
+  BankId bank = 0;
+  RowId src = 0;
+  RowId dst = 0;
+};
+
+/// Result of a masked RowClone request.
+struct RowCloneResult {
+  util::Cycle latency = 0;      ///< Issue -> all legs complete.
+  util::Cycle completion = 0;   ///< Absolute completion cycle (max legs).
+  util::Cycle ack_latency = 0;  ///< Issue -> all legs acknowledged (the
+                                ///< non-blocking retirement point).
+  std::vector<AccessResult> legs;
+};
+
+class MemoryController {
+ public:
+  MemoryController(DramConfig config,
+                   MappingScheme scheme = MappingScheme::kBankInterleaved,
+                   bool with_data = false);
+
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+  [[nodiscard]] const AddressMapping& mapping() const { return mapping_; }
+  [[nodiscard]] const Timing& timing() const { return timing_; }
+
+  /// Fixed on-chip cost of getting a request into the per-bank queue
+  /// (command/address bus, controller pipeline).
+  [[nodiscard]] util::Cycle issue_overhead() const { return issue_overhead_; }
+  void set_issue_overhead(util::Cycle c) { issue_overhead_ = c; }
+
+  /// Performs a normal read/write-class access at `now`.
+  AccessResult access(PhysAddr addr, util::Cycle now,
+                      ActorId actor = kAnyActor);
+
+  /// Direct bank/row access (used by PiM units that address banks natively).
+  AccessResult access_row(BankId bank, RowId row, util::Cycle now,
+                          ActorId actor = kAnyActor);
+
+  /// Executes a masked RowClone: each leg runs in its bank concurrently.
+  /// When `atomic` is true (the paper's §5.1 threat-model guarantee) no
+  /// other DRAM command may start on *any* bank until all legs complete.
+  RowCloneResult rowclone(std::span<const RowCloneLeg> legs, util::Cycle now,
+                          bool atomic = true, ActorId actor = kAnyActor);
+
+  /// Row currently open in `bank` as of `now` (nullopt if precharged).
+  [[nodiscard]] std::optional<RowId> open_row(BankId bank, util::Cycle now);
+
+  /// Closes the row buffer of `bank`.
+  void precharge(BankId bank, util::Cycle now);
+
+  /// Switches the row policy on all banks (defense configuration).
+  void set_policy(RowPolicy policy);
+  [[nodiscard]] RowPolicy policy() const { return config_.policy; }
+
+  // --- Bank partitioning (MPR defense) -------------------------------
+  /// Assigns `bank` exclusively to `owner`; kAnyActor removes the claim.
+  void set_partition_owner(BankId bank, ActorId owner);
+  /// True when `actor` may touch `bank` under the current partitioning.
+  [[nodiscard]] bool can_access(BankId bank, ActorId actor) const;
+  /// Number of accesses rejected by partitioning so far.
+  [[nodiscard]] std::uint64_t partition_faults() const {
+    return partition_faults_;
+  }
+
+  // --- Introspection ---------------------------------------------------
+  [[nodiscard]] std::uint32_t banks() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  [[nodiscard]] const BankStats& bank_stats(BankId bank) const;
+  [[nodiscard]] BankStats total_stats() const;
+  void reset_stats();
+
+  /// Value-level storage; present only when constructed `with_data`.
+  [[nodiscard]] DataArray* data() { return data_ ? &*data_ : nullptr; }
+
+ private:
+  Bank& bank_for(BankId id);
+  /// Returns true (and counts a fault) if partitioning rejects the access.
+  bool partition_rejects(BankId bank, ActorId actor);
+
+  DramConfig config_;
+  AddressMapping mapping_;
+  Timing timing_;
+  util::Cycle issue_overhead_ = 4;
+  std::vector<Bank> banks_;
+  std::vector<ActorId> owners_;
+  std::uint64_t partition_faults_ = 0;
+  std::optional<DataArray> data_;
+};
+
+}  // namespace impact::dram

@@ -1,0 +1,55 @@
+// Fundamental identifier types for the DRAM model.
+//
+// The model flattens the channel/rank/bank hierarchy into a single BankId:
+// the paper's attacks and defenses operate at bank granularity (row-buffer
+// contention is per bank), and the channel/rank levels only determine how
+// many independently accessible banks exist. `AddressMapping` (see
+// address_mapping.hpp) is responsible for folding channel/rank/bank bits of
+// a physical address into the flat id.
+#pragma once
+
+#include <cstdint>
+
+namespace impact::dram {
+
+/// Byte-granular physical address.
+using PhysAddr = std::uint64_t;
+
+/// Flat bank index across all channels and ranks, in [0, total_banks).
+using BankId = std::uint32_t;
+
+/// Row index within a bank.
+using RowId = std::uint32_t;
+
+/// Column (byte offset) within a row.
+using ColOffset = std::uint32_t;
+
+/// Decoded location of a physical address.
+struct DramAddress {
+  BankId bank = 0;
+  RowId row = 0;
+  ColOffset col = 0;
+
+  bool operator==(const DramAddress&) const = default;
+};
+
+/// What the row buffer did for an access.
+enum class RowBufferOutcome : std::uint8_t {
+  kHit,       ///< Requested row was already open.
+  kEmpty,     ///< Bank was precharged; activation without a preceding PRE.
+  kConflict,  ///< A different row was open; PRE + ACT required.
+};
+
+[[nodiscard]] constexpr const char* to_string(RowBufferOutcome o) {
+  switch (o) {
+    case RowBufferOutcome::kHit:
+      return "hit";
+    case RowBufferOutcome::kEmpty:
+      return "empty";
+    case RowBufferOutcome::kConflict:
+      return "conflict";
+  }
+  return "?";
+}
+
+}  // namespace impact::dram

@@ -1,0 +1,232 @@
+#include "genomics/align.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+namespace impact::genomics {
+
+namespace {
+
+void append_cigar_op(std::string& cigar, char op, std::uint32_t run) {
+  if (run == 0) return;
+  cigar += std::to_string(run);
+  cigar += op;
+}
+
+}  // namespace
+
+Alignment banded_align(const std::vector<Base>& query,
+                       const std::vector<Base>& target,
+                       const AlignConfig& config) {
+  // Full (banded) matrix with traceback. The band keeps memory at
+  // O(n * band); out-of-band cells are unreachable.
+  const std::int64_t n = static_cast<std::int64_t>(query.size());
+  const std::int64_t m = static_cast<std::int64_t>(target.size());
+  const std::int64_t band = config.band;
+  constexpr std::uint32_t kInf =
+      std::numeric_limits<std::uint32_t>::max() / 2;
+
+  Alignment result;
+  if (n - m > band || m - n > band) result.within_band = false;
+
+  const std::int64_t width = 2 * band + 1;
+  // dp[i][w] for w = j - i + band.
+  std::vector<std::vector<std::uint32_t>> dp(
+      static_cast<std::size_t>(n + 1),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(width), kInf));
+  auto at = [&](std::int64_t i, std::int64_t j) -> std::uint32_t& {
+    return dp[static_cast<std::size_t>(i)]
+             [static_cast<std::size_t>(j - i + band)];
+  };
+  auto in_band = [&](std::int64_t i, std::int64_t j) {
+    return j >= 0 && j <= m && (j - i) >= -band && (j - i) <= band;
+  };
+
+  for (std::int64_t j = 0; j <= std::min(band, m); ++j) {
+    at(0, j) = static_cast<std::uint32_t>(j);
+  }
+  for (std::int64_t i = 1; i <= n; ++i) {
+    const std::int64_t j_lo = std::max<std::int64_t>(0, i - band);
+    const std::int64_t j_hi = std::min(m, i + band);
+    for (std::int64_t j = j_lo; j <= j_hi; ++j) {
+      std::uint32_t best = kInf;
+      if (j == 0) {
+        best = static_cast<std::uint32_t>(i);
+      } else {
+        if (in_band(i - 1, j - 1) && at(i - 1, j - 1) != kInf) {
+          const bool match = query[static_cast<std::size_t>(i - 1)] ==
+                             target[static_cast<std::size_t>(j - 1)];
+          best = std::min(best, at(i - 1, j - 1) + (match ? 0u : 1u));
+        }
+        if (in_band(i, j - 1) && at(i, j - 1) != kInf) {
+          best = std::min(best, at(i, j - 1) + 1);  // Insertion (target).
+        }
+        if (in_band(i - 1, j) && at(i - 1, j) != kInf) {
+          best = std::min(best, at(i - 1, j) + 1);  // Deletion (query).
+        }
+      }
+      at(i, j) = best;
+    }
+  }
+
+  if (!in_band(n, m) || at(n, m) >= kInf) {
+    result.within_band = false;
+    result.edit_distance =
+        static_cast<std::uint32_t>(std::max(n, m));
+    return result;
+  }
+  result.edit_distance = at(n, m);
+
+  // Traceback, collecting ops back-to-front.
+  std::string rev_ops;
+  std::int64_t i = n;
+  std::int64_t j = m;
+  while (i > 0 || j > 0) {
+    const std::uint32_t here = at(i, j);
+    if (i > 0 && j > 0 && in_band(i - 1, j - 1) &&
+        at(i - 1, j - 1) != kInf) {
+      const bool match = query[static_cast<std::size_t>(i - 1)] ==
+                         target[static_cast<std::size_t>(j - 1)];
+      if (at(i - 1, j - 1) + (match ? 0u : 1u) == here) {
+        rev_ops += 'M';
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (j > 0 && in_band(i, j - 1) && at(i, j - 1) != kInf &&
+        at(i, j - 1) + 1 == here) {
+      rev_ops += 'I';
+      --j;
+      continue;
+    }
+    rev_ops += 'D';
+    --i;
+  }
+
+  // Run-length encode.
+  std::uint32_t run = 0;
+  char op = 0;
+  for (auto it = rev_ops.rbegin(); it != rev_ops.rend(); ++it) {
+    if (*it == op) {
+      ++run;
+    } else {
+      append_cigar_op(result.cigar, op, run);
+      op = *it;
+      run = 1;
+    }
+  }
+  append_cigar_op(result.cigar, op, run);
+  return result;
+}
+
+bool cigar_consistent(const std::string& cigar, std::size_t query_len,
+                      std::size_t target_len) {
+  std::size_t q = 0;
+  std::size_t t = 0;
+  std::size_t run = 0;
+  for (char c : cigar) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      run = run * 10 + static_cast<std::size_t>(c - '0');
+      continue;
+    }
+    if (run == 0) return false;
+    switch (c) {
+      case 'M':
+        q += run;
+        t += run;
+        break;
+      case 'I':
+        t += run;
+        break;
+      case 'D':
+        q += run;
+        break;
+      default:
+        return false;
+    }
+    run = 0;
+  }
+  return run == 0 && q == query_len && t == target_len;
+}
+
+AlignResult banded_edit_distance(const std::vector<Base>& query,
+                                 const std::vector<Base>& target,
+                                 const AlignConfig& config) {
+  const std::size_t n = query.size();
+  const std::size_t m = target.size();
+  const std::int64_t band = config.band;
+  constexpr std::uint32_t kInf =
+      std::numeric_limits<std::uint32_t>::max() / 2;
+
+  AlignResult result;
+  if (static_cast<std::int64_t>(n) - static_cast<std::int64_t>(m) > band ||
+      static_cast<std::int64_t>(m) - static_cast<std::int64_t>(n) > band) {
+    result.within_band = false;
+  }
+
+  // Row-wise DP restricted to |i - j| <= band. Store the band as a window
+  // of width 2*band+1 around the diagonal.
+  const std::size_t width = 2 * static_cast<std::size_t>(band) + 1;
+  std::vector<std::uint32_t> prev(width, kInf);
+  std::vector<std::uint32_t> cur(width, kInf);
+
+  auto idx = [&](std::int64_t i, std::int64_t j) -> std::int64_t {
+    return j - i + band;  // Offset within the band window.
+  };
+
+  // Row 0: distance is j (all insertions) for j <= band.
+  for (std::int64_t j = 0; j <= band && j <= static_cast<std::int64_t>(m);
+       ++j) {
+    prev[static_cast<std::size_t>(idx(0, j))] =
+        static_cast<std::uint32_t>(j);
+  }
+
+  for (std::int64_t i = 1; i <= static_cast<std::int64_t>(n); ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const std::int64_t j_lo = std::max<std::int64_t>(0, i - band);
+    const std::int64_t j_hi =
+        std::min<std::int64_t>(static_cast<std::int64_t>(m), i + band);
+    for (std::int64_t j = j_lo; j <= j_hi; ++j) {
+      const std::int64_t w = idx(i, j);
+      std::uint32_t best = kInf;
+      if (j == 0) {
+        best = static_cast<std::uint32_t>(i);
+      } else {
+        // Substitution / match (diagonal stays at the same window offset).
+        const std::uint32_t diag = prev[static_cast<std::size_t>(w)];
+        if (diag != kInf) {
+          const bool match = query[static_cast<std::size_t>(i - 1)] ==
+                             target[static_cast<std::size_t>(j - 1)];
+          best = std::min(best, diag + (match ? 0u : 1u));
+        }
+        // Insertion into target (left neighbour in this row).
+        if (w - 1 >= 0) {
+          const std::uint32_t left = cur[static_cast<std::size_t>(w - 1)];
+          if (left != kInf) best = std::min(best, left + 1);
+        }
+        // Deletion from target (upper neighbour in the previous row).
+        if (w + 1 < static_cast<std::int64_t>(width)) {
+          const std::uint32_t up = prev[static_cast<std::size_t>(w + 1)];
+          if (up != kInf) best = std::min(best, up + 1);
+        }
+      }
+      cur[static_cast<std::size_t>(w)] = best;
+    }
+    std::swap(prev, cur);
+  }
+
+  const std::int64_t w_final =
+      idx(static_cast<std::int64_t>(n), static_cast<std::int64_t>(m));
+  if (w_final < 0 || w_final >= static_cast<std::int64_t>(width) ||
+      prev[static_cast<std::size_t>(w_final)] >= kInf) {
+    result.within_band = false;
+    result.edit_distance = static_cast<std::uint32_t>(std::max(n, m));
+    return result;
+  }
+  result.edit_distance = prev[static_cast<std::size_t>(w_final)];
+  return result;
+}
+
+}  // namespace impact::genomics

@@ -1,0 +1,61 @@
+#include "genomics/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impact::genomics {
+
+Chain chain_anchors(std::vector<Anchor> anchors, const ChainConfig& config) {
+  Chain best;
+  if (anchors.empty()) return best;
+
+  std::sort(anchors.begin(), anchors.end(), [](const Anchor& a,
+                                               const Anchor& b) {
+    if (a.target_pos != b.target_pos) return a.target_pos < b.target_pos;
+    return a.query_pos < b.query_pos;
+  });
+
+  const std::size_t n = anchors.size();
+  std::vector<double> score(n);
+  std::vector<std::int64_t> parent(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    score[i] = anchors[i].length;
+    const std::size_t lookback = std::min<std::size_t>(i, config.max_skip);
+    for (std::size_t back = 1; back <= lookback; ++back) {
+      const std::size_t j = i - back;
+      const auto& prev = anchors[j];
+      const auto& cur = anchors[i];
+      if (prev.query_pos >= cur.query_pos) continue;      // Collinearity.
+      if (prev.target_pos >= cur.target_pos) continue;
+      const std::int64_t dq = static_cast<std::int64_t>(cur.query_pos) -
+                              prev.query_pos;
+      const std::int64_t dt = static_cast<std::int64_t>(cur.target_pos) -
+                              prev.target_pos;
+      const std::int64_t gap = std::llabs(dt - dq);
+      if (dt > config.max_gap || dq > config.max_gap) continue;
+      const double candidate =
+          score[j] + cur.length -
+          config.gap_penalty * static_cast<double>(gap);
+      if (candidate > score[i]) {
+        score[i] = candidate;
+        parent[i] = static_cast<std::int64_t>(j);
+      }
+    }
+  }
+
+  std::size_t best_end = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (score[i] > score[best_end]) best_end = i;
+  }
+  best.score = score[best_end];
+  // Backtrack into query order.
+  std::vector<Anchor> rev;
+  for (std::int64_t at = static_cast<std::int64_t>(best_end); at >= 0;
+       at = parent[static_cast<std::size_t>(at)]) {
+    rev.push_back(anchors[static_cast<std::size_t>(at)]);
+  }
+  best.anchors.assign(rev.rbegin(), rev.rend());
+  return best;
+}
+
+}  // namespace impact::genomics

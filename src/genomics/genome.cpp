@@ -1,0 +1,110 @@
+#include "genomics/genome.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace impact::genomics {
+
+char base_to_char(Base b) {
+  constexpr char kMap[4] = {'A', 'C', 'G', 'T'};
+  util::check(b < 4, "base_to_char: invalid base");
+  return kMap[b];
+}
+
+Base char_to_base(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      util::check(false, "char_to_base: invalid character");
+      return 0;
+  }
+}
+
+Genome Genome::from_string(const std::string& s) {
+  std::vector<Base> bases;
+  bases.reserve(s.size());
+  for (char c : s) bases.push_back(char_to_base(c));
+  return Genome(std::move(bases));
+}
+
+Genome Genome::synthesize(std::size_t length, util::Xoshiro256& rng,
+                          double repeat_fraction) {
+  util::check(repeat_fraction >= 0.0 && repeat_fraction < 1.0,
+              "Genome::synthesize: repeat_fraction in [0,1)");
+  // Build a small library of repeat elements.
+  constexpr std::size_t kRepeatCount = 8;
+  constexpr std::size_t kRepeatLen = 300;
+  std::vector<std::vector<Base>> repeats(kRepeatCount);
+  for (auto& rep : repeats) {
+    rep.resize(kRepeatLen);
+    for (auto& b : rep) b = static_cast<Base>(rng.below(4));
+  }
+
+  std::vector<Base> bases;
+  bases.reserve(length);
+  while (bases.size() < length) {
+    if (rng.uniform() < repeat_fraction) {
+      const auto& rep = repeats[rng.below(kRepeatCount)];
+      for (Base b : rep) {
+        if (bases.size() >= length) break;
+        // Slightly diverged copies, as in real repeat families.
+        bases.push_back(rng.chance(0.02) ? static_cast<Base>(rng.below(4))
+                                         : b);
+      }
+    } else {
+      const std::size_t run = 100 + rng.below(200);
+      for (std::size_t i = 0; i < run && bases.size() < length; ++i) {
+        bases.push_back(static_cast<Base>(rng.below(4)));
+      }
+    }
+  }
+  return Genome(std::move(bases));
+}
+
+std::vector<Base> Genome::slice(std::size_t pos, std::size_t len) const {
+  util::check(pos + len <= bases_.size(), "Genome::slice out of range");
+  return {bases_.begin() + static_cast<std::ptrdiff_t>(pos),
+          bases_.begin() + static_cast<std::ptrdiff_t>(pos + len)};
+}
+
+std::string Genome::to_string() const {
+  std::string s;
+  s.reserve(bases_.size());
+  for (Base b : bases_) s.push_back(base_to_char(b));
+  return s;
+}
+
+std::vector<Read> sample_reads(const Genome& reference, std::size_t count,
+                               const ReadSimConfig& config,
+                               util::Xoshiro256& rng) {
+  util::check(reference.size() >= config.read_length,
+              "sample_reads: reference shorter than read length");
+  std::vector<Read> reads;
+  reads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Read r;
+    r.true_position = rng.below(reference.size() - config.read_length + 1);
+    r.bases = reference.slice(r.true_position, config.read_length);
+    for (auto& b : r.bases) {
+      if (rng.chance(config.substitution_rate)) {
+        b = static_cast<Base>(rng.below(4));
+      }
+    }
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+}  // namespace impact::genomics

@@ -1,0 +1,76 @@
+#include "genomics/kmer.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace impact::genomics {
+
+std::uint64_t hash64(std::uint64_t key) {
+  // minimap2's invertible hash (Thomas Wang mix).
+  key = (~key + (key << 21));
+  key = key ^ (key >> 24);
+  key = ((key + (key << 3)) + (key << 8));
+  key = key ^ (key >> 14);
+  key = ((key + (key << 2)) + (key << 4));
+  key = key ^ (key >> 28);
+  key = (key + (key << 31));
+  return key;
+}
+
+Kmer pack_kmer(const std::vector<Base>& seq, std::size_t pos,
+               std::uint32_t k) {
+  util::check(k >= 1 && k <= 31, "pack_kmer: k must be in [1,31]");
+  util::check(pos + k <= seq.size(), "pack_kmer: out of range");
+  Kmer kmer = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    kmer = (kmer << 2) | seq[pos + i];
+  }
+  return kmer;
+}
+
+Kmer revcomp_kmer(Kmer kmer, std::uint32_t k) {
+  Kmer rc = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    rc = (rc << 2) | (3ull - (kmer & 3ull));  // Complement (A<->T, C<->G).
+    kmer >>= 2;
+  }
+  return rc;
+}
+
+Kmer canonical_kmer(Kmer kmer, std::uint32_t k) {
+  const Kmer rc = revcomp_kmer(kmer, k);
+  return kmer < rc ? kmer : rc;
+}
+
+std::vector<Minimizer> extract_minimizers(const std::vector<Base>& seq,
+                                          const MinimizerConfig& config) {
+  const std::uint32_t k = config.k;
+  const std::uint32_t w = config.w;
+  util::check(w >= 1, "extract_minimizers: w must be >= 1");
+  std::vector<Minimizer> out;
+  if (seq.size() < k) return out;
+  const std::size_t n_kmers = seq.size() - k + 1;
+
+  // Monotone deque of (hash, position) for the sliding window minimum.
+  std::deque<Minimizer> window;
+  Kmer rolling = 0;
+  const Kmer mask = (k == 31) ? ~0ull >> 2 : ((1ull << (2 * k)) - 1);
+  for (std::size_t i = 0; i < k - 1; ++i) {
+    rolling = ((rolling << 2) | seq[i]) & mask;
+  }
+  for (std::size_t i = 0; i < n_kmers; ++i) {
+    rolling = ((rolling << 2) | seq[i + k - 1]) & mask;
+    const std::uint64_t h = hash64(canonical_kmer(rolling, k));
+    while (!window.empty() && window.back().hash >= h) window.pop_back();
+    window.push_back({h, static_cast<std::uint32_t>(i)});
+    if (window.front().position + w <= i) window.pop_front();
+    if (i + 1 >= w) {
+      const Minimizer& m = window.front();
+      if (out.empty() || !(out.back() == m)) out.push_back(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace impact::genomics

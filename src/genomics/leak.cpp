@@ -1,0 +1,17 @@
+#include "genomics/leak.hpp"
+
+#include <cmath>
+
+namespace impact::genomics {
+
+LeakPrecision LeakPrecision::of(const SeedTable& table) {
+  LeakPrecision p;
+  p.banks = table.banks();
+  p.entries_per_bank = table.entries_per_bank();
+  p.bits_per_observation =
+      std::log2(static_cast<double>(table.config().buckets) /
+                static_cast<double>(p.entries_per_bank));
+  return p;
+}
+
+}  // namespace impact::genomics

@@ -1,0 +1,44 @@
+// Quantifying what a bank-granular observation leaks about the sample
+// genome (§5.4's precision discussion and the completion-attack framing).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "genomics/seed_table.hpp"
+
+namespace impact::genomics {
+
+/// Information content of the side channel at a given table geometry.
+struct LeakPrecision {
+  std::uint32_t banks = 0;
+  std::uint32_t entries_per_bank = 0;  ///< Candidate buckets per hit.
+  double bits_per_observation = 0.0;   ///< log2(buckets / candidates).
+
+  /// §5.4: more banks -> fewer hash-table entries per bank -> each correct
+  /// bank identification pins the victim's bucket (and hence the read's
+  /// candidate reference locations) more precisely.
+  [[nodiscard]] static LeakPrecision of(const SeedTable& table);
+};
+
+/// Aggregate outcome of a side-channel observation session.
+struct LeakReport {
+  std::size_t observations = 0;      ///< Attacker probe decisions.
+  std::size_t correct = 0;           ///< Matching the victim's ground truth.
+  std::uint64_t elapsed_cycles = 0;
+
+  [[nodiscard]] double error_rate() const {
+    return observations == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(correct) /
+                           static_cast<double>(observations);
+  }
+  [[nodiscard]] double throughput_mbps(double ghz) const {
+    if (elapsed_cycles == 0) return 0.0;
+    const double seconds =
+        static_cast<double>(elapsed_cycles) / (ghz * 1e9);
+    return static_cast<double>(correct) / seconds / 1e6;
+  }
+};
+
+}  // namespace impact::genomics

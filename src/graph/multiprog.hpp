@@ -1,0 +1,80 @@
+// Multiprogrammed graph execution over the simulated memory system.
+//
+// Fig. 11's setup: a 2-core system where both cores run an instance of the
+// same workload on the *same shared input graph* (the CSR arrays' physical
+// pages are mapped into both processes, so both hit the same DRAM banks),
+// each with private algorithm state. We replay both instances' traces
+// interleaved by simulated time and measure total cycles per row policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/config.hpp"
+#include "graph/graph.hpp"
+#include "graph/workload.hpp"
+#include "sys/system.hpp"
+
+namespace impact::graph {
+
+struct MultiprogConfig {
+  sys::SystemConfig system = scaled_system();
+  std::uint32_t rmat_scale = 15;      ///< 32k vertices.
+  std::size_t edge_count = 262144;    ///< Directed edges.
+  std::uint64_t graph_seed = 99;
+
+  /// Fig. 11 default: hierarchy scaled down 256x together with the input
+  /// graph (paper inputs are 7-8 GB; see SystemConfig::cache_scale), which
+  /// keeps the working-set-to-cache ratios, and with them the paper's
+  /// MPKI regime, while staying replayable in seconds.
+  [[nodiscard]] static sys::SystemConfig scaled_system() {
+    sys::SystemConfig s;
+    s.cache_scale = 256;
+    return s;
+  }
+};
+
+struct RunStats {
+  util::Cycle cycles = 0;          ///< Makespan of the two instances.
+  std::uint64_t instructions = 0;  ///< Both instances combined.
+  std::uint64_t accesses = 0;
+  std::uint64_t llc_misses = 0;
+  double row_hit_rate = 0.0;       ///< Of the DRAM accesses performed.
+
+  [[nodiscard]] double mpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(llc_misses) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// One Fig. 11 bar group: a workload's overheads relative to open-row.
+struct DefenseOverheads {
+  WorkloadKind kind = WorkloadKind::kBFS;
+  RunStats open_row;
+  RunStats closed_row;
+  RunStats constant_time;
+
+  [[nodiscard]] double crp_overhead() const {
+    return static_cast<double>(closed_row.cycles) /
+               static_cast<double>(open_row.cycles) -
+           1.0;
+  }
+  [[nodiscard]] double ctd_overhead() const {
+    return static_cast<double>(constant_time.cycles) /
+               static_cast<double>(open_row.cycles) -
+           1.0;
+  }
+};
+
+/// Runs two co-scheduled instances of `kind` under `policy`.
+[[nodiscard]] RunStats run_multiprogrammed(const MultiprogConfig& config,
+                                           WorkloadKind kind,
+                                           dram::RowPolicy policy);
+
+/// Runs the full Fig. 11 matrix for one workload (all three policies).
+[[nodiscard]] DefenseOverheads evaluate_defenses(
+    const MultiprogConfig& config, WorkloadKind kind);
+
+}  // namespace impact::graph

@@ -1,0 +1,39 @@
+#include "pim/fimdram.hpp"
+
+#include <algorithm>
+
+namespace impact::pim {
+
+FimResult FimDispatcher::execute_bank(dram::BankId bank, dram::RowId row,
+                                      util::Cycle& clock) {
+  FimResult r;
+  util::Cycle latency = config_.mmio_write_cost;
+  const auto mem =
+      controller_->access_row(bank, row, clock + latency, actor_);
+  latency += mem.latency + config_.unit_compute + config_.status_read_cost;
+  r.latency = latency;
+  r.outcome = mem.outcome;
+  clock += latency;
+  return r;
+}
+
+FimResult FimDispatcher::execute_all_bank(dram::RowId row,
+                                          util::Cycle& clock) {
+  FimResult r;
+  const util::Cycle issue = clock + config_.mmio_write_cost;
+  util::Cycle max_completion = issue;
+  r.bank_outcomes.reserve(controller_->banks());
+  for (dram::BankId b = 0; b < controller_->banks(); ++b) {
+    const auto mem = controller_->access_row(b, row, issue, actor_);
+    r.bank_outcomes.push_back(mem.outcome);
+    max_completion = std::max(max_completion, mem.completion);
+  }
+  r.outcome = r.bank_outcomes.empty() ? dram::RowBufferOutcome::kEmpty
+                                      : r.bank_outcomes.front();
+  r.latency = (max_completion - clock) + config_.unit_compute +
+              config_.status_read_cost;
+  clock += r.latency;
+  return r;
+}
+
+}  // namespace impact::pim

@@ -1,0 +1,64 @@
+// A FIMDRAM-flavoured PnM interface (Kwon et al., ISSCC'21).
+//
+// §4.1: "our attack can be generalized for other PnM architectures with
+// similar design components (e.g., FIMDRAM)". FIMDRAM places a SIMD
+// programmable compute unit (PCU) per bank pair and is driven by the host
+// through memory-mapped command registers; it executes either single-bank
+// operations or *all-bank* operations where every bank performs the same
+// row-indexed op in lockstep. There is no PEI-style locality monitor: PIM
+// commands always reach the banks directly — which makes the attack
+// simpler (no ignore-flag bypass needed), trading away the PMU's benign
+// locality benefits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/controller.hpp"
+#include "util/units.hpp"
+
+namespace impact::pim {
+
+struct FimConfig {
+  /// Uncached MMIO write that lodges one command register value.
+  util::Cycle mmio_write_cost = 12;
+  /// The per-bank execution unit's compute time per op.
+  util::Cycle unit_compute = 2;
+  /// Completion/status readback.
+  util::Cycle status_read_cost = 6;
+};
+
+struct FimResult {
+  util::Cycle latency = 0;
+  dram::RowBufferOutcome outcome = dram::RowBufferOutcome::kEmpty;
+  /// Per-bank outcomes for all-bank operations.
+  std::vector<dram::RowBufferOutcome> bank_outcomes;
+};
+
+/// Host-side driver handle for the FIMDRAM-like device.
+class FimDispatcher {
+ public:
+  FimDispatcher(FimConfig config, dram::MemoryController& controller,
+                dram::ActorId actor)
+      : config_(config), controller_(&controller), actor_(actor) {}
+
+  /// Single-bank PIM op on (bank, row): one command register write, one
+  /// bank access, unit compute, status readback. The attacker's timed
+  /// probe primitive.
+  FimResult execute_bank(dram::BankId bank, dram::RowId row,
+                         util::Cycle& clock);
+
+  /// All-bank PIM op: every bank activates `row` and computes in lockstep
+  /// off a single command (the device's hallmark mode; one MMIO write
+  /// initializes the whole device's row buffers).
+  FimResult execute_all_bank(dram::RowId row, util::Cycle& clock);
+
+  [[nodiscard]] const FimConfig& config() const { return config_; }
+
+ private:
+  FimConfig config_;
+  dram::MemoryController* controller_;
+  dram::ActorId actor_;
+};
+
+}  // namespace impact::pim

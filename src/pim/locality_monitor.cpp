@@ -1,0 +1,65 @@
+#include "pim/locality_monitor.hpp"
+
+#include "util/assert.hpp"
+
+namespace impact::pim {
+
+LocalityMonitor::LocalityMonitor(LocalityMonitorConfig config)
+    : config_(config) {
+  util::check(config_.entries % config_.ways == 0,
+              "LocalityMonitor: entries must be divisible by ways");
+  sets_ = config_.entries / config_.ways;
+  util::check(sets_ > 0, "LocalityMonitor: needs at least one set");
+  entries_.assign(config_.entries, Entry{});
+}
+
+PeiPlacement LocalityMonitor::decide(std::uint64_t block) {
+  ++stats_.lookups;
+  ++tick_;
+  const std::uint32_t set = static_cast<std::uint32_t>(block % sets_);
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+
+  Entry* found = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Entry& e = entries_[base + w];
+    if (e.valid && e.tag == block) {
+      found = &e;
+      break;
+    }
+  }
+
+  if (found == nullptr) {
+    // Allocate (LRU victim) with the ignore flag set: the next hit will
+    // not count towards locality.
+    Entry* victim = &entries_[base];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Entry& e = entries_[base + w];
+      if (!e.valid) {
+        victim = &e;
+        break;
+      }
+      if (e.lru < victim->lru) victim = &e;
+    }
+    *victim = Entry{true, block, 0, true, tick_};
+    ++stats_.allocations;
+    ++stats_.memory_decisions;
+    return PeiPlacement::kMemory;
+  }
+
+  found->lru = tick_;
+  if (found->ignore) {
+    found->ignore = false;
+    ++stats_.ignored_first_hits;
+    ++stats_.memory_decisions;
+    return PeiPlacement::kMemory;
+  }
+  ++found->hits;
+  if (found->hits >= config_.hot_threshold) {
+    ++stats_.host_decisions;
+    return PeiPlacement::kHost;
+  }
+  ++stats_.memory_decisions;
+  return PeiPlacement::kMemory;
+}
+
+}  // namespace impact::pim

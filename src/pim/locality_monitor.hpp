@@ -1,0 +1,76 @@
+// The PEI Management Unit's locality monitor (Ahn et al., ISCA'15).
+//
+// The PMU decides, per PEI, whether to execute it on a host-side PCU
+// (benefiting from caches when the target data has locality) or on the
+// PCU near the target DRAM bank. It tracks recently targeted cache blocks
+// in a small tag store; a block judged "hot" runs host-side.
+//
+// The detail IMPACT-PnM exploits (§4.1): each entry carries an *ignore
+// flag* so the first hit after allocation does not count as locality —
+// treating an operation as hot on its very first re-reference is too
+// aggressive. An attacker touching each block at most twice therefore
+// never triggers host-side placement, even with a small address range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace impact::pim {
+
+/// Where the PMU routed a PEI.
+enum class PeiPlacement : std::uint8_t { kMemory, kHost };
+
+[[nodiscard]] constexpr const char* to_string(PeiPlacement p) {
+  return p == PeiPlacement::kMemory ? "memory" : "host";
+}
+
+struct LocalityMonitorConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t ways = 4;
+  /// Counted (non-ignored) hits needed before a block is judged hot.
+  std::uint32_t hot_threshold = 2;
+  util::Cycle lookup_latency = 2;
+};
+
+struct LocalityMonitorStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t ignored_first_hits = 0;
+  std::uint64_t host_decisions = 0;
+  std::uint64_t memory_decisions = 0;
+};
+
+class LocalityMonitor {
+ public:
+  explicit LocalityMonitor(LocalityMonitorConfig config = {});
+
+  [[nodiscard]] const LocalityMonitorConfig& config() const {
+    return config_;
+  }
+
+  /// Looks up the cache block (line address) targeted by a PEI and decides
+  /// its placement, updating the tag store.
+  PeiPlacement decide(std::uint64_t block);
+
+  [[nodiscard]] const LocalityMonitorStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LocalityMonitorStats{}; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint32_t hits = 0;
+    bool ignore = false;
+    std::uint64_t lru = 0;
+  };
+
+  LocalityMonitorConfig config_;
+  std::uint32_t sets_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  LocalityMonitorStats stats_;
+};
+
+}  // namespace impact::pim

@@ -1,0 +1,64 @@
+#include "pim/offchip_predictor.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace impact::pim {
+
+namespace {
+
+std::size_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+
+}  // namespace
+
+OffChipPredictor::OffChipPredictor(OffChipPredictorConfig config)
+    : config_(config),
+      w_block_(config.table_size, 0),
+      w_page_(config.table_size, 0),
+      w_region_(config.table_size, 0),
+      bias_(config.initial_bias) {}
+
+std::array<std::size_t, 3> OffChipPredictor::features(
+    std::uint64_t block) const {
+  return {mix(block) % config_.table_size,
+          mix(block >> 6) % config_.table_size,      // 4 KiB page.
+          mix(block >> 12) % config_.table_size};    // 256 KiB region.
+}
+
+std::int32_t OffChipPredictor::sum(std::uint64_t block) const {
+  const auto f = features(block);
+  return bias_ + w_block_[f[0]] + w_page_[f[1]] + w_region_[f[2]];
+}
+
+bool OffChipPredictor::predict_offchip(std::uint64_t block) const {
+  ++stats_.predictions;
+  const bool offchip = sum(block) >= config_.threshold;
+  if (offchip) ++stats_.predicted_offchip;
+  return offchip;
+}
+
+void OffChipPredictor::train(std::uint64_t block, bool was_offchip) {
+  const std::int32_t dir = was_offchip ? 1 : -1;
+  const auto f = features(block);
+  auto bump = [&](std::int32_t& w) {
+    w = std::clamp(w + dir, config_.weight_min, config_.weight_max);
+  };
+  bump(w_block_[f[0]]);
+  bump(w_page_[f[1]]);
+  bump(w_region_[f[2]]);
+}
+
+bool OffChipPredictor::predict_and_train(std::uint64_t block,
+                                         bool was_offchip) {
+  const bool prediction = predict_offchip(block);
+  if (prediction == was_offchip) ++stats_.correct;
+  train(block, was_offchip);
+  return prediction;
+}
+
+}  // namespace impact::pim

@@ -1,0 +1,72 @@
+// Perceptron-based off-chip load predictor (Hermes, Bera et al. MICRO'22),
+// used by the PnM-OffChip comparison point (§5.1, attack (v)).
+//
+// In the PnM-OffChip architecture the predictor replaces the simple PMU
+// locality monitor: a PEI whose target is predicted to be on-chip (cached /
+// high locality) executes on the host CPU, where it enjoys the cache
+// hierarchy but does *not* touch a DRAM row — which is precisely why the
+// attack loses throughput when the predictor routes its operations
+// host-side. The predictor trains online on the true outcome (was the line
+// actually resident?).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace impact::pim {
+
+struct OffChipPredictorConfig {
+  std::uint32_t table_size = 1024;   ///< Weights per feature table.
+  std::int32_t threshold = 0;        ///< Decision threshold on the sum.
+  std::int32_t weight_min = -32;
+  std::int32_t weight_max = 31;
+  /// Initial bias: loads start out predicted off-chip (an empty cache).
+  std::int32_t initial_bias = 4;
+};
+
+struct OffChipPredictorStats {
+  std::uint64_t predictions = 0;
+  std::uint64_t predicted_offchip = 0;
+  std::uint64_t correct = 0;
+
+  [[nodiscard]] double accuracy() const {
+    return predictions == 0
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(predictions);
+  }
+};
+
+class OffChipPredictor {
+ public:
+  explicit OffChipPredictor(OffChipPredictorConfig config = {});
+
+  /// True = predicted off-chip (execute memory-side).
+  [[nodiscard]] bool predict_offchip(std::uint64_t block) const;
+
+  /// Online training with the observed truth for `block`.
+  void train(std::uint64_t block, bool was_offchip);
+
+  /// Convenience: predict, then train against the truth, returning the
+  /// prediction that was acted upon.
+  bool predict_and_train(std::uint64_t block, bool was_offchip);
+
+  [[nodiscard]] const OffChipPredictorStats& stats() const { return stats_; }
+
+ private:
+  /// Feature hashes: block address, 4 KiB page, 64-block region.
+  [[nodiscard]] std::array<std::size_t, 3> features(
+      std::uint64_t block) const;
+  [[nodiscard]] std::int32_t sum(std::uint64_t block) const;
+
+  OffChipPredictorConfig config_;
+  // One weight table per feature.
+  std::vector<std::int32_t> w_block_;
+  std::vector<std::int32_t> w_page_;
+  std::vector<std::int32_t> w_region_;
+  std::int32_t bias_;
+  mutable OffChipPredictorStats stats_;
+};
+
+}  // namespace impact::pim

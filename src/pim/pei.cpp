@@ -1,0 +1,57 @@
+#include "pim/pei.hpp"
+
+namespace impact::pim {
+
+PeiDispatcher::PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
+                             dram::ActorId actor)
+    : config_(config), system_(&system), actor_(actor), pmu_(config.pmu) {}
+
+PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
+                                 PeiKind /*kind*/) {
+  PeiResult r;
+  // PEIs carry virtual addresses; translation happens on the host side
+  // before dispatch (as in the PEI architecture).
+  const auto tr = system_->translate(actor_, vaddr);
+  system_->charge_walk_traffic(actor_, vaddr, tr.walked, clock);
+  const dram::PhysAddr paddr = system_->vmem().translate(actor_, vaddr);
+  util::Cycle latency = tr.latency + config_.pmu.lookup_latency;
+
+  const std::uint64_t block = paddr / 64;
+  r.placement = pmu_.decide(block);
+
+  if (r.placement == PeiPlacement::kHost) {
+    // Host-side PCU: a normal cached load plus the compute. No DRAM row is
+    // touched when the line hits in the cache hierarchy.
+    const auto mem = system_->hierarchy(actor_).access(paddr, clock + latency);
+    latency += mem.latency + config_.pcu_compute_latency;
+    r.outcome = mem.dram_outcome;
+    r.bank = system_->controller().mapping().decode(paddr).bank;
+    if (mem.level != cache::HitLevel::kMemory) {
+      // Mark that no bank state changed: callers treat a non-memory
+      // outcome of a host-placed PEI as "no interference generated".
+      r.outcome = dram::RowBufferOutcome::kHit;
+    }
+  } else {
+    // Memory-side PCU: uncacheable request straight to the bank.
+    latency += config_.offchip_issue_latency;
+    const auto mem =
+        system_->controller().access(paddr, clock + latency, actor_);
+    latency += mem.latency + config_.pcu_compute_latency +
+               config_.response_latency;
+    r.outcome = mem.outcome;
+    r.bank = mem.bank;
+  }
+  r.latency = latency;
+  clock += latency;
+  return r;
+}
+
+std::uint32_t PeiDispatcher::next_bypass_column(std::uint32_t row_bytes,
+                                                std::uint32_t line_bytes) {
+  const std::uint32_t blocks = row_bytes / line_bytes;
+  const std::uint32_t col = (bypass_cursor_ % blocks) * line_bytes;
+  ++bypass_cursor_;
+  return col;
+}
+
+}  // namespace impact::pim

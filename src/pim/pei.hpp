@@ -1,0 +1,68 @@
+// PIM-Enabled Instructions: the PnM execution path.
+//
+// A PEI (e.g. `pim_add`) names a virtual address; after translation the PMU
+// locality monitor routes it either to the PCU near the target DRAM bank
+// (bypassing the whole cache hierarchy) or to the host-side PCU (a normal
+// cached access plus the compute). Memory-side execution is the direct,
+// fast, ISA-guaranteed main-memory access IMPACT-PnM builds on (§4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/hierarchy.hpp"
+#include "dram/controller.hpp"
+#include "pim/locality_monitor.hpp"
+#include "sys/system.hpp"
+#include "util/units.hpp"
+
+namespace impact::pim {
+
+enum class PeiKind : std::uint8_t { kAdd, kMin, kBitwise, kCopy };
+
+struct PeiConfig {
+  /// Getting the PEI packet from the core to the memory controller /
+  /// memory-side PCU command queue (uncacheable request path).
+  util::Cycle offchip_issue_latency = 6;
+  /// The near-bank PCU's compute time (§5.1: "~3 cycles to execute").
+  util::Cycle pcu_compute_latency = 3;
+  /// Returning the (small) PEI result/ack to the core.
+  util::Cycle response_latency = 4;
+  LocalityMonitorConfig pmu{};
+};
+
+struct PeiResult {
+  util::Cycle latency = 0;
+  PeiPlacement placement = PeiPlacement::kMemory;
+  dram::RowBufferOutcome outcome = dram::RowBufferOutcome::kEmpty;
+  dram::BankId bank = 0;
+};
+
+/// Per-process PEI front end: owns the PMU, issues memory-side PEIs to the
+/// controller and host-side PEIs through the process's cache hierarchy.
+class PeiDispatcher {
+ public:
+  PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
+                dram::ActorId actor);
+
+  /// Executes one PEI targeting `vaddr`, advancing the actor clock.
+  PeiResult execute(sys::VAddr vaddr, util::Cycle& clock,
+                    PeiKind kind = PeiKind::kAdd);
+
+  [[nodiscard]] const LocalityMonitor& pmu() const { return pmu_; }
+  [[nodiscard]] const PeiConfig& config() const { return config_; }
+
+  /// Rotating-block helper used by attacks: returns a column offset within
+  /// a row such that consecutive calls target fresh cache blocks, keeping
+  /// the PMU's ignore-flag path active (§4.1 bypass).
+  [[nodiscard]] std::uint32_t next_bypass_column(std::uint32_t row_bytes,
+                                                 std::uint32_t line_bytes);
+
+ private:
+  PeiConfig config_;
+  sys::MemorySystem* system_;
+  dram::ActorId actor_;
+  LocalityMonitor pmu_;
+  std::uint32_t bypass_cursor_ = 0;
+};
+
+}  // namespace impact::pim

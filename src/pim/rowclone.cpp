@@ -1,0 +1,47 @@
+#include "pim/rowclone.hpp"
+
+#include "util/assert.hpp"
+
+namespace impact::pim {
+
+RowCloneUnit::RowCloneUnit(RowCloneConfig config, sys::MemorySystem& system,
+                           dram::ActorId actor)
+    : config_(config), system_(&system), actor_(actor) {}
+
+dram::RowCloneResult RowCloneUnit::execute(const RowCloneRequest& request,
+                                           util::Cycle& clock, bool atomic) {
+  util::check(request.mask != 0, "RowCloneUnit: empty bank mask");
+  auto& vmem = system_->vmem();
+  const auto& mapping = system_->controller().mapping();
+  const std::uint64_t row_bytes = mapping.row_bytes();
+
+  std::vector<dram::RowCloneLeg> legs;
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    if (((request.mask >> k) & 1ull) == 0) continue;
+    const sys::VAddr src_chunk = request.src + k * row_bytes;
+    const sys::VAddr dst_chunk = request.dst + k * row_bytes;
+    const auto src_loc =
+        mapping.decode(vmem.translate(actor_, src_chunk));
+    const auto dst_loc =
+        mapping.decode(vmem.translate(actor_, dst_chunk));
+    util::check(src_loc.bank == dst_loc.bank,
+                "RowCloneUnit: chunk k of src and dst map to different banks");
+    util::check(src_loc.col == 0 && dst_loc.col == 0,
+                "RowCloneUnit: ranges must be row-aligned");
+    legs.push_back(dram::RowCloneLeg{src_loc.bank, src_loc.row, dst_loc.row});
+  }
+  util::check(!legs.empty(), "RowCloneUnit: mask selects no mapped chunk");
+
+  auto result = system_->controller().rowclone(
+      legs, clock + config_.issue_latency, atomic, actor_);
+  const util::Cycle core_wait =
+      config_.blocking ? result.latency : result.ack_latency;
+  // `latency` reports what the issuing core observed (and what a timing
+  // attacker can measure); `completion` still records when the copy is done.
+  result.latency =
+      core_wait + config_.issue_latency + config_.response_latency;
+  clock += result.latency;
+  return result;
+}
+
+}  // namespace impact::pim

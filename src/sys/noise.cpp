@@ -1,0 +1,38 @@
+#include "sys/noise.hpp"
+
+#include <cmath>
+
+namespace impact::sys {
+
+BackgroundNoise::BackgroundNoise(NoiseConfig config, MemorySystem& system,
+                                 dram::ActorId actor)
+    : config_(config), system_(&system), actor_(actor), rng_(config.seed) {
+  if (config_.accesses_per_kilocycle > 0.0) {
+    // A modest working set spread across the device.
+    span_ = system_->vmem().map_pages(actor_, 64);
+    system_->warm_span(actor_, span_);
+  }
+}
+
+void BackgroundNoise::advance(util::Cycle upto) {
+  if (config_.accesses_per_kilocycle <= 0.0) return;
+  const double mean_gap = 1000.0 / config_.accesses_per_kilocycle;
+  while (next_event_ <= upto) {
+    // Exponential inter-arrival times (Poisson traffic).
+    const double gap = -mean_gap * std::log(1.0 - rng_.uniform());
+    next_event_ += static_cast<util::Cycle>(std::max(1.0, gap));
+    if (next_event_ > upto) break;
+    const VAddr target =
+        span_.vaddr + rng_.below(span_.bytes / 64) * 64;
+    util::Cycle clock = next_event_;
+    if (rng_.chance(config_.cached_fraction)) {
+      (void)system_->load(actor_, target, clock,
+                          /*pc=*/0x9000 + rng_.below(4));
+    } else {
+      (void)system_->direct_access(actor_, target, clock);
+    }
+    ++issued_;
+  }
+}
+
+}  // namespace impact::sys

@@ -1,0 +1,47 @@
+// Background system activity: a noise process for stress-testing attacks.
+//
+// §5.1 injects noise via prefetchers and page-table walkers; this utility
+// additionally models unrelated co-running applications whose DRAM traffic
+// perturbs row-buffer state at a configurable rate, so tests and ablations
+// can measure channel robustness (and the value of coding) under load.
+#pragma once
+
+#include <cstdint>
+
+#include "sys/system.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace impact::sys {
+
+struct NoiseConfig {
+  /// Mean DRAM accesses issued per 1000 cycles of simulated time.
+  double accesses_per_kilocycle = 0.0;
+  /// Fraction of noise accesses that are cached loads (the rest go
+  /// straight to DRAM, e.g. DMA or non-temporal traffic).
+  double cached_fraction = 0.5;
+  std::uint64_t seed = 4242;
+};
+
+class BackgroundNoise {
+ public:
+  BackgroundNoise(NoiseConfig config, MemorySystem& system,
+                  dram::ActorId actor);
+
+  /// Issues the noise accesses scheduled in (last_advance, upto]; call
+  /// with a monotonically increasing frontier.
+  void advance(util::Cycle upto);
+
+  [[nodiscard]] std::uint64_t accesses_issued() const { return issued_; }
+
+ private:
+  NoiseConfig config_;
+  MemorySystem* system_;
+  dram::ActorId actor_;
+  util::Xoshiro256 rng_;
+  VSpan span_{};
+  util::Cycle next_event_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace impact::sys

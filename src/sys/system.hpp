@@ -1,0 +1,134 @@
+// System-level configuration (Table 2) and the MemorySystem façade.
+//
+// MemorySystem wires together the per-process CPU-side path
+// (TLB -> L1 -> L2 -> LLC -> memory controller) and the direct paths that
+// bypass the cache hierarchy (abstract direct access, DMA-engine access).
+// PiM paths (PEI, RowClone) live in src/pim and use the same controller.
+//
+// Modeling note: each simulated process gets a private hierarchy (its
+// L1/L2 plus an LLC slice). The attacks under study communicate through
+// DRAM row-buffer state, not through shared cache sets, so private LLC
+// slices preserve every mechanism the paper measures; the purely
+// cache-resident comparison attack (Streamline) is modelled analytically,
+// exactly as the paper itself does (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/hierarchy.hpp"
+#include "dram/controller.hpp"
+#include "sys/sync.hpp"
+#include "sys/timer.hpp"
+#include "sys/tlb.hpp"
+#include "sys/vmem.hpp"
+
+namespace impact::sys {
+
+struct DmaConfig {
+  /// Descriptor setup, doorbell, and completion handling for one transfer.
+  /// §5.1 assumes a powerful attacker who avoids context-switch and most
+  /// OS costs; this is the irreducible user-space driver overhead left.
+  util::Cycle per_transfer_overhead = 330;
+};
+
+struct SystemConfig {
+  double freq_ghz = 2.6;
+  std::uint32_t cores = 4;
+  dram::DramConfig dram{};
+  dram::MappingScheme mapping = dram::MappingScheme::kBankInterleaved;
+  std::uint64_t llc_bytes = 8ull * 1024 * 1024;  // 2 MiB/core x 4 cores.
+  std::uint32_t llc_ways = 16;
+  /// Uniform divisor applied to all cache capacities (power of two). The
+  /// Fig. 11 reproduction scales hierarchy and input graph down together
+  /// (the paper's inputs are 7-8 GB), preserving working-set-to-cache
+  /// ratios and with them the per-workload MPKI regime.
+  std::uint32_t cache_scale = 1;
+  bool prefetchers = true;
+  TlbConfig tlb{};
+  TimerConfig timer{};
+  DmaConfig dma{};
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] util::Frequency frequency() const {
+    return util::Frequency{freq_ghz};
+  }
+
+  /// Human-readable Table 2-style description for bench headers.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Result of one access over any path.
+struct PathResult {
+  util::Cycle latency = 0;
+  cache::HitLevel level = cache::HitLevel::kMemory;
+  dram::RowBufferOutcome outcome = dram::RowBufferOutcome::kEmpty;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(SystemConfig config);
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] dram::MemoryController& controller() { return controller_; }
+  [[nodiscard]] VirtualMemory& vmem() { return vmem_; }
+  [[nodiscard]] const Timestamp& timestamp() const { return timestamp_; }
+
+  /// Per-process CPU-side structures (created on first use).
+  cache::Hierarchy& hierarchy(dram::ActorId actor);
+  Tlb& tlb(dram::ActorId actor);
+
+  /// TLB translation that consults the page size of the backing mapping
+  /// (4 KiB vs 2 MiB pages). All access paths use this.
+  TlbResult translate(dram::ActorId actor, VAddr vaddr);
+
+  // --- CPU-side path (translate + cache hierarchy) --------------------
+  PathResult load(dram::ActorId actor, VAddr vaddr, util::Cycle& clock,
+                  std::uint64_t pc = 0);
+  PathResult store(dram::ActorId actor, VAddr vaddr, util::Cycle& clock,
+                   std::uint64_t pc = 0);
+  /// clflush of the line holding `vaddr` (translate + LLC probe + WB).
+  util::Cycle clflush(dram::ActorId actor, VAddr vaddr, util::Cycle& clock);
+  /// Eviction-set displacement of the line holding `vaddr` (§3.3 baseline).
+  util::Cycle evict(dram::ActorId actor, VAddr vaddr, util::Cycle& clock);
+
+  // --- Cache-bypassing paths ------------------------------------------
+  /// Abstract direct main-memory access: one request, no cache lookup
+  /// (§3.3's "direct memory access attack" upper bound).
+  PathResult direct_access(dram::ActorId actor, VAddr vaddr,
+                           util::Cycle& clock);
+  /// DMA-engine access: fixed driver overhead + uncached DRAM access.
+  PathResult dma_access(dram::ActorId actor, VAddr vaddr,
+                        util::Cycle& clock);
+
+  /// Pre-warms translation structures for a span (§5.1 warm-up phase).
+  void warm_span(dram::ActorId actor, const VSpan& span);
+
+  /// DRAM traffic of a page-table walk: the walker fetches the leaf PTE
+  /// from memory, activating a pseudo-random row. This is one of the §5.1
+  /// noise sources — walker traffic perturbs row-buffer state that attacks
+  /// rely on. Call with `walked` from a TlbResult.
+  void charge_walk_traffic(dram::ActorId actor, VAddr vaddr, bool walked,
+                           util::Cycle now);
+
+ private:
+  struct CpuContext {
+    explicit CpuContext(const SystemConfig& cfg,
+                        dram::MemoryController& controller,
+                        dram::ActorId actor);
+    Tlb tlb;
+    cache::Hierarchy hierarchy;
+  };
+
+  CpuContext& context(dram::ActorId actor);
+
+  SystemConfig config_;
+  dram::MemoryController controller_;
+  VirtualMemory vmem_;
+  Timestamp timestamp_;
+  std::unordered_map<dram::ActorId, std::unique_ptr<CpuContext>> contexts_;
+};
+
+}  // namespace impact::sys

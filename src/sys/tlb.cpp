@@ -1,0 +1,92 @@
+#include "sys/tlb.hpp"
+
+#include "util/assert.hpp"
+
+namespace impact::sys {
+
+Tlb::Level::Level(const TlbLevelConfig& c)
+    : sets(c.entries / c.ways), ways(c.ways) {
+  util::check(c.entries % c.ways == 0,
+              "TlbLevelConfig: entries must be divisible by ways");
+  util::check(sets > 0, "TlbLevelConfig: at least one set required");
+  tags.assign(static_cast<std::size_t>(sets) * ways, kInvalid);
+  repl.reserve(sets);
+  for (std::uint32_t s = 0; s < sets; ++s) {
+    repl.emplace_back(cache::ReplacementKind::kLru, ways);
+  }
+}
+
+bool Tlb::Level::lookup(std::uint64_t page) {
+  const std::uint32_t set = static_cast<std::uint32_t>(page % sets);
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (tags[base + w] == page) {
+      repl[set].touch(w);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Tlb::Level::fill(std::uint64_t page) {
+  const std::uint32_t set = static_cast<std::uint32_t>(page % sets);
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (tags[base + w] == page) {
+      repl[set].touch(w);
+      return;
+    }
+  }
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (tags[base + w] == kInvalid) {
+      tags[base + w] = page;
+      repl[set].insert(w);
+      return;
+    }
+  }
+  const std::uint32_t victim = repl[set].victim();
+  tags[base + victim] = page;
+  repl[set].insert(victim);
+}
+
+Tlb::Tlb(TlbConfig config)
+    : config_(config),
+      l1_(config.l1),
+      l1_huge_(config.l1_huge),
+      l2_(config.l2) {}
+
+TlbResult Tlb::translate(std::uint64_t vaddr, bool huge) {
+  const std::uint64_t page =
+      vaddr >> (huge ? config_.huge_page_bits : config_.page_bits);
+  Level& l1 = huge ? l1_huge_ : l1_;
+  ++stats_.accesses;
+  TlbResult r;
+  r.latency = config_.l1.latency;
+  if (l1.lookup(page)) {
+    ++stats_.l1_hits;
+    r.l1_hit = true;
+    return r;
+  }
+  r.latency += config_.l2.latency;
+  if (l2_.lookup(page)) {
+    ++stats_.l2_hits;
+    r.l2_hit = true;
+    l1.fill(page);
+    return r;
+  }
+  ++stats_.walks;
+  r.walked = true;
+  r.latency += config_.walk_latency;
+  l2_.fill(page);
+  l1.fill(page);
+  return r;
+}
+
+void Tlb::warm(std::uint64_t vaddr, bool huge) {
+  const std::uint64_t page =
+      vaddr >> (huge ? config_.huge_page_bits : config_.page_bits);
+  l2_.fill(page);
+  (huge ? l1_huge_ : l1_).fill(page);
+}
+
+}  // namespace impact::sys

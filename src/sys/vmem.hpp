@@ -1,0 +1,101 @@
+// Per-process virtual memory with attack-relevant allocation policies.
+//
+// The covert channels need *memory massaging* (§4.1: "one process uses
+// memory massaging techniques to place its data in the same bank as the
+// other process"): the ability to obtain pages that map to chosen DRAM
+// banks/rows. With the default bank-interleaved mapping a 4 KiB page falls
+// entirely inside one row-buffer-sized chunk, hence inside one bank, which
+// is what makes massaging work. The PuM attack additionally needs two
+// virtual ranges whose physical pages span *all* banks at the same row
+// index (§5.1), provided by `map_row_span`.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/address_mapping.hpp"
+#include "dram/controller.hpp"
+#include "util/rng.hpp"
+
+namespace impact::sys {
+
+using VAddr = std::uint64_t;
+
+/// A contiguous virtual range handed out by the allocator.
+struct VSpan {
+  VAddr vaddr = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] VAddr end() const { return vaddr + bytes; }
+};
+
+class VirtualMemory {
+ public:
+  /// `mapping` defines how physical frames land in banks; it must outlive
+  /// this object. `seed` drives the randomized default allocation order
+  /// (real allocators hand out effectively arbitrary frames).
+  VirtualMemory(const dram::AddressMapping& mapping, std::uint64_t seed,
+                std::uint32_t page_bits = 12);
+
+  [[nodiscard]] std::uint64_t page_bytes() const { return 1ull << page_bits_; }
+
+  /// Maps `n` pages for `proc` from the randomized free list.
+  VSpan map_pages(dram::ActorId proc, std::uint64_t n);
+
+  /// Maps one page backed by a frame in `bank` (memory massaging).
+  VSpan map_in_bank(dram::ActorId proc, dram::BankId bank);
+
+  /// Maps the pages covering row `row` of `bank` exactly.
+  VSpan map_row(dram::ActorId proc, dram::BankId bank, dram::RowId row);
+
+  /// Maps a virtual range whose physical pages cover row `row` in *every*
+  /// bank (bank-interleaved mapping required): total_banks * row_bytes
+  /// bytes, physically contiguous. With `huge` the range is backed by
+  /// 2 MiB pages (it is physically contiguous, so the kernel can), which
+  /// lets an attacker sweep thousands of banks without TLB thrash.
+  VSpan map_row_span(dram::ActorId proc, dram::RowId row, bool huge = false);
+
+  /// True when the page backing `vaddr` was mapped as a 2 MiB page.
+  [[nodiscard]] bool is_huge(dram::ActorId proc, VAddr vaddr) const;
+
+  /// Shared memory: maps the frames backing `span` (owned by `from`) into
+  /// `to`'s address space at the same virtual addresses (the two graph
+  /// instances of Fig. 11 share their input this way).
+  void share(dram::ActorId from, dram::ActorId to, const VSpan& span);
+
+  /// Translates; the page must have been mapped by `proc`.
+  [[nodiscard]] dram::PhysAddr translate(dram::ActorId proc,
+                                         VAddr vaddr) const;
+
+  /// True if `proc` has a mapping for the page of `vaddr`.
+  [[nodiscard]] bool is_mapped(dram::ActorId proc, VAddr vaddr) const;
+
+  [[nodiscard]] std::uint64_t frames_total() const { return frames_total_; }
+  [[nodiscard]] std::uint64_t frames_used() const { return frames_used_; }
+
+ private:
+  struct Process {
+    VAddr next_vaddr = 0x10000000ull;
+    std::unordered_map<std::uint64_t, std::uint64_t> page_table;  // vpn->pfn.
+    std::vector<VSpan> huge_ranges;  // Ranges backed by 2 MiB pages.
+  };
+
+  Process& process(dram::ActorId proc);
+  VAddr install(Process& p, const std::vector<std::uint64_t>& frames);
+  std::uint64_t take_free_frame();
+  /// Claims a specific frame; it must be free.
+  void claim_frame(std::uint64_t frame);
+  [[nodiscard]] bool frame_free(std::uint64_t frame) const;
+
+  const dram::AddressMapping* mapping_;
+  std::uint32_t page_bits_;
+  std::uint64_t frames_total_;
+  std::uint64_t frames_used_ = 0;
+  std::vector<bool> frame_taken_;
+  std::vector<std::uint64_t> shuffled_free_;  ///< Randomized handout order.
+  std::size_t shuffled_pos_ = 0;
+  std::unordered_map<dram::ActorId, Process> processes_;
+};
+
+}  // namespace impact::sys

@@ -1,0 +1,36 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulation bugs silently corrupt measured latencies, so invariants stay on
+// in release builds. The macro prints the failing expression with its source
+// location and aborts; tests exercise failure paths through the
+// `impact::util::check` function instead, which throws.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace impact::util {
+
+/// Throwing variant used by library code whose callers can recover (and by
+/// tests, which assert on the exception).
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "IMPACT_ASSERT failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace impact::util
+
+#define IMPACT_ASSERT(expr)                                      \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::impact::util::assert_fail(#expr, __FILE__, __LINE__);    \
+    }                                                            \
+  } while (false)

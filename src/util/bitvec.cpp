@@ -1,0 +1,69 @@
+#include "util/bitvec.hpp"
+
+#include "util/assert.hpp"
+
+namespace impact::util {
+
+BitVec BitVec::from_string(const std::string& s) {
+  std::vector<bool> bits;
+  bits.reserve(s.size());
+  for (char c : s) {
+    check(c == '0' || c == '1', "BitVec::from_string: invalid character");
+    bits.push_back(c == '1');
+  }
+  return BitVec(std::move(bits));
+}
+
+BitVec BitVec::random(std::size_t size, Xoshiro256& rng) {
+  BitVec v(size);
+  for (std::size_t i = 0; i < size; ++i) v.set(i, rng.chance(0.5));
+  return v;
+}
+
+BitVec BitVec::alternating(std::size_t size) {
+  BitVec v(size);
+  for (std::size_t i = 0; i < size; ++i) v.set(i, (i % 2) == 1);
+  return v;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (bool b : bits_) n += b ? 1 : 0;
+  return n;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  check(size() == other.size(), "hamming_distance: size mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    d += (bits_[i] != other.bits_[i]) ? 1 : 0;
+  }
+  return d;
+}
+
+std::uint64_t BitVec::to_mask() const {
+  std::uint64_t mask = 0;
+  const std::size_t n = std::min<std::size_t>(size(), 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bits_[i]) mask |= (1ull << i);
+  }
+  return mask;
+}
+
+BitVec BitVec::from_mask(std::uint64_t mask, std::size_t size) {
+  check(size <= 64, "BitVec::from_mask: size must be <= 64");
+  BitVec v(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    v.set(i, (mask >> i) & 1ull);
+  }
+  return v;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size());
+  for (bool b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+}  // namespace impact::util

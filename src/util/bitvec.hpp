@@ -1,0 +1,59 @@
+// Message bit vectors exchanged over covert channels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace impact::util {
+
+/// A sequence of bits with helpers for covert-channel experiments: random
+/// message generation, Hamming distance (bit-error counting), and round-trip
+/// comparison.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t size, bool value = false)
+      : bits_(size, value) {}
+  explicit BitVec(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  /// Parses a string of '0'/'1' characters.
+  static BitVec from_string(const std::string& s);
+
+  /// Uniform random message of `size` bits.
+  static BitVec random(std::size_t size, Xoshiro256& rng);
+
+  /// Alternating 0101... pattern (worst case for some encodings).
+  static BitVec alternating(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] bool empty() const { return bits_.empty(); }
+  [[nodiscard]] bool get(std::size_t i) const { return bits_.at(i); }
+  void set(std::size_t i, bool v) { bits_.at(i) = v; }
+  void push_back(bool v) { bits_.push_back(v); }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Number of differing positions; both vectors must have equal size.
+  [[nodiscard]] std::size_t hamming_distance(const BitVec& other) const;
+
+  /// Packs bits [0, min(size,64)) little-endian into a word (bit i of the
+  /// message becomes bit i of the mask). Used for RowClone bank masks.
+  [[nodiscard]] std::uint64_t to_mask() const;
+
+  /// Expands the low `size` bits of `mask` into a BitVec.
+  static BitVec from_mask(std::uint64_t mask, std::size_t size);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const BitVec& other) const = default;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace impact::util

@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace impact::util {
+
+CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
+                     std::vector<std::string> header)
+    : path_(dir + "/" + name + ".csv"), columns_(header.size()) {
+  check(!header.empty(), "CsvWriter: header must not be empty");
+  out_.open(path_, std::ios::trunc);
+  check(out_.good(), "CsvWriter: cannot open " + path_);
+  write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  check(cells.size() == columns_, "CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  write_row(cells);
+}
+
+std::optional<std::string> CsvWriter::results_dir_from_env() {
+  const char* dir = std::getenv("IMPACT_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+}  // namespace impact::util

@@ -1,0 +1,38 @@
+// CSV export for bench results (plot-ready output).
+//
+// Benches print human tables; when the IMPACT_RESULTS_DIR environment
+// variable names a directory, they additionally drop machine-readable CSV
+// there via this writer.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace impact::util {
+
+class CsvWriter {
+ public:
+  /// Opens `<dir>/<name>.csv` and writes the header. Throws on I/O error.
+  CsvWriter(const std::string& dir, const std::string& name,
+            std::vector<std::string> header);
+
+  /// Appends one row (cells are escaped; count must match the header).
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Reads IMPACT_RESULTS_DIR; empty optional when unset/empty.
+  [[nodiscard]] static std::optional<std::string> results_dir_from_env();
+
+ private:
+  static std::string escape(const std::string& cell);
+  void write_row(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+}  // namespace impact::util

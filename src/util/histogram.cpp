@@ -1,0 +1,66 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace impact::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  check(hi > lo, "Histogram requires hi > lo");
+  check(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  check(i < counts_.size(), "Histogram::bin_lo out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        static_cast<double>(max_width));
+    std::snprintf(line, sizeof line, "[%8.1f, %8.1f) %8zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(std::max<std::size_t>(bar_len, 1), '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof line, "underflow: %zu\n", underflow_);
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "overflow: %zu\n", overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace impact::util

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace impact::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  check(!values.empty(), "percentile of empty vector");
+  check(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  if (p == 0.0) return values.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[std::min(rank, values.size()) - 1];
+}
+
+double geomean(const std::vector<double>& values) {
+  check(!values.empty(), "geomean of empty vector");
+  double log_sum = 0.0;
+  for (double v : values) {
+    check(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double midpoint_threshold(const std::vector<double>& low,
+                          const std::vector<double>& high) {
+  check(!low.empty() && !high.empty(),
+        "midpoint_threshold requires two non-empty clusters");
+  const double low_max = *std::max_element(low.begin(), low.end());
+  const double high_min = *std::min_element(high.begin(), high.end());
+  check(low_max < high_min,
+        "midpoint_threshold requires separated clusters (low < high)");
+  return (low_max + high_min) / 2.0;
+}
+
+}  // namespace impact::util

@@ -1,0 +1,48 @@
+// Small statistics helpers used by benches and attack reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace impact::util {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// p-th percentile (0..100) by nearest-rank on a copy of `values`.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Geometric mean; all values must be positive.
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean of a vector (0 for empty input).
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Chooses the midpoint threshold between two latency clusters: the value
+/// halfway between the maximum of the low cluster and the minimum of the
+/// high cluster. Used to calibrate row-hit vs row-conflict decision
+/// thresholds. Requires both clusters non-empty and separated.
+[[nodiscard]] double midpoint_threshold(const std::vector<double>& low,
+                                        const std::vector<double>& high);
+
+}  // namespace impact::util

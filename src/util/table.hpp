@@ -1,0 +1,31 @@
+// ASCII table rendering for bench output (paper-style rows).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace impact::util {
+
+/// Builds monospaced tables with a header row, auto-sized columns and a
+/// right-aligned numeric style for cells that parse as numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace impact::util

@@ -1,0 +1,171 @@
+// Depth tests: failure injection, cross-feature interactions, and
+// behaviors not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include "attacks/drama.hpp"
+#include "attacks/impact_pnm.hpp"
+#include "attacks/impact_pum.hpp"
+#include "attacks/pnm_offchip.hpp"
+#include "attacks/registry.hpp"
+#include "channel/coding.hpp"
+#include "sys/noise.hpp"
+
+namespace impact::attacks {
+namespace {
+
+TEST(MeasureAggregation, SumsOverMessages) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  ImpactPnm attack(system);
+  const auto one = attack.measure(32, 1, 5);
+  const auto four = attack.measure(32, 4, 5);
+  EXPECT_EQ(four.bits_total, 4 * one.bits_total);
+  EXPECT_GT(four.elapsed_cycles, 3 * one.elapsed_cycles);
+}
+
+TEST(RegistryTest, NamesAndMappings) {
+  EXPECT_STREQ(to_string(AttackKind::kImpactPnm), "IMPACT-PnM");
+  EXPECT_STREQ(to_string(AttackKind::kDramaEviction), "DRAMA-eviction");
+  EXPECT_EQ(recommended_mapping(AttackKind::kDramaEviction),
+            dram::MappingScheme::kXorBankHash);
+  EXPECT_EQ(recommended_mapping(AttackKind::kImpactPum),
+            dram::MappingScheme::kBankInterleaved);
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  for (const auto kind : kFig8Attacks) {
+    if (recommended_mapping(kind) != config.mapping) continue;
+    auto attack = make_attack(kind, system);
+    EXPECT_EQ(attack->name(), to_string(kind));
+  }
+}
+
+TEST(DramaEviction, ForcesSingleBankSerialChannel) {
+  sys::SystemConfig config;
+  config.mapping = dram::MappingScheme::kXorBankHash;
+  sys::MemorySystem system(config);
+  DramaConfig drama_config;
+  drama_config.primitive = DramaPrimitive::kEviction;
+  drama_config.channel.banks = 16;      // Overridden by the adjust rule.
+  drama_config.channel.batch_bits = 4;
+  Drama attack(system, drama_config);
+  const auto r = attack.transmit(util::BitVec::from_string("1100101"));
+  EXPECT_LE(r.report.bit_errors(), 1u);
+}
+
+TEST(ImpactPumUnderRefresh, SmallErrorRateNotCollapse) {
+  sys::SystemConfig config;
+  config.dram.timing.trefi_ns = 3000.0;  // Dense refresh for the test.
+  sys::MemorySystem system(config);
+  ImpactPum attack(system);
+  const auto report = attack.measure(128, 6, 91);
+  EXPECT_LT(report.error_rate(), 0.25);
+}
+
+TEST(ImpactPumRequiresInterleavedMapping, Throws) {
+  sys::SystemConfig config;
+  config.mapping = dram::MappingScheme::kRowBankCol;
+  sys::MemorySystem system(config);
+  ImpactPum attack(system);
+  EXPECT_THROW((void)attack.transmit(util::BitVec(16, true)),
+               std::invalid_argument);
+}
+
+TEST(PnmOffChipErrors, GrowWithLlcSize) {
+  auto run = [&](std::uint64_t llc_mb) {
+    sys::SystemConfig config;
+    config.llc_bytes = llc_mb << 20;
+    sys::MemorySystem system(config);
+    PnmOffChip attack(system);
+    return attack.measure(128, 8, 92).error_rate();
+  };
+  EXPECT_LE(run(2), run(64));
+  EXPECT_GT(run(64), 0.0);  // The predictor does lose some bits.
+}
+
+TEST(MultiThreadSender, ScalesSenderTimeWithoutErrors) {
+  const auto msg = util::BitVec(32, true);
+  util::Cycle one_thread = 0;
+  util::Cycle four_threads = 0;
+  {
+    sys::MemorySystem system{sys::SystemConfig{}};
+    ImpactPnmConfig config;
+    config.channel.batch_bits = 16;
+    ImpactPnm attack(system, config);
+    (void)attack.transmit(msg);
+    one_thread = attack.transmit(msg).report.sender_cycles;
+  }
+  {
+    sys::MemorySystem system{sys::SystemConfig{}};
+    ImpactPnmConfig config;
+    config.channel.batch_bits = 16;
+    config.channel.sender_threads = 4;
+    ImpactPnm attack(system, config);
+    (void)attack.transmit(msg);
+    const auto r = attack.transmit(msg);
+    four_threads = r.report.sender_cycles;
+    EXPECT_EQ(r.report.bit_errors(), 0u);
+  }
+  EXPECT_LT(4 * four_threads, 5 * one_thread);  // Near-linear scaling.
+}
+
+TEST(MultiThreadReceiver, ParallelProbingMultipliesThroughput) {
+  auto mbps = [](std::uint32_t rthreads) {
+    sys::MemorySystem system{sys::SystemConfig{}};
+    ImpactPnmConfig config;
+    config.channel.batch_bits = 16;
+    config.channel.receiver_threads = rthreads;
+    ImpactPnm attack(system, config);
+    const auto r = attack.measure(128, 6, 95);
+    EXPECT_LT(r.error_rate(), 0.02);
+    return r.throughput_mbps(util::kDefaultFrequency);
+  };
+  const double one = mbps(1);
+  const double four = mbps(4);
+  EXPECT_GT(four, 2.0 * one);
+}
+
+TEST(NoisePlusCoding, RepetitionBeatsUncodedResidualUnderLoad) {
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  sys::NoiseConfig noise_config;
+  noise_config.accesses_per_kilocycle = 6.0;
+  sys::BackgroundNoise noise(noise_config, system, 42);
+  ImpactPnm attack(system);
+  attack.set_noise(&noise);
+  util::Xoshiro256 rng(93);
+  const auto msg = util::BitVec::random(256, rng);
+  const auto uncoded = channel::transmit_coded(
+      attack, msg, channel::CodeKind::kNone, util::kDefaultFrequency);
+  const auto coded = channel::transmit_coded(
+      attack, msg, channel::CodeKind::kRepetition3,
+      util::kDefaultFrequency);
+  EXPECT_GT(uncoded.residual_errors, 0u);
+  EXPECT_LT(coded.residual_errors, uncoded.residual_errors);
+}
+
+TEST(ThresholdStability, RecalibrationNotNeededAcrossLongSessions) {
+  // The calibrated threshold from message 1 still decodes message 50
+  // (bank state self-heals; no drift source exists in a quiet system).
+  sys::MemorySystem system{sys::SystemConfig{}};
+  ImpactPnm attack(system);
+  util::Xoshiro256 rng(94);
+  (void)attack.transmit(util::BitVec::random(16, rng));
+  const double threshold_before = attack.threshold();
+  for (int i = 0; i < 49; ++i) {
+    (void)attack.transmit(util::BitVec::random(16, rng));
+  }
+  EXPECT_EQ(attack.threshold(), threshold_before);
+  const auto r = attack.transmit(util::BitVec::random(64, rng));
+  EXPECT_EQ(r.report.bit_errors(), 0u);
+}
+
+TEST(SenderOnlyActsOnOnes, ZeroMessagesAreNearFree) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  ImpactPnm attack(system);
+  (void)attack.transmit(util::BitVec(64, false));
+  const auto zeros = attack.transmit(util::BitVec(64, false)).report;
+  const auto ones = attack.transmit(util::BitVec(64, true)).report;
+  EXPECT_LT(zeros.sender_cycles * 3, ones.sender_cycles);
+}
+
+}  // namespace
+}  // namespace impact::attacks

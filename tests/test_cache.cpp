@@ -1,0 +1,159 @@
+// Unit tests: set-associative cache, replacement policies.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/replacement.hpp"
+
+namespace impact::cache {
+namespace {
+
+CacheConfig small_cache(ReplacementKind repl = ReplacementKind::kLru) {
+  // 4 sets x 2 ways x 64 B lines.
+  return CacheConfig{"test", 512, 2, 64, 1, repl};
+}
+
+TEST(CacheConfigTest, Validation) {
+  CacheConfig c = small_cache();
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.sets(), 4u);
+  c.size_bytes = 500;  // Not divisible.
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cache();
+  c.ways = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ReplacementLru, EvictsLeastRecentlyUsed) {
+  ReplacementState r(ReplacementKind::kLru, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) r.insert(w);
+  r.touch(0);  // Order (MRU->LRU): 0,3,2,1.
+  EXPECT_EQ(r.victim(), 1u);
+  r.touch(1);
+  EXPECT_EQ(r.victim(), 2u);
+}
+
+TEST(ReplacementSrrip, InsertsAtDistantAndPromotesOnHit) {
+  ReplacementState r(ReplacementKind::kSrrip, 2);
+  r.insert(0);
+  r.insert(1);
+  r.touch(0);  // RRPV(0)=0, RRPV(1)=2.
+  // Victim search ages until an RRPV==3 exists: way 1 reaches it first.
+  EXPECT_EQ(r.victim(), 1u);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache cache(small_cache());
+  EXPECT_FALSE(cache.access(100, false));
+  EXPECT_FALSE(cache.contains(100));
+  EXPECT_EQ(cache.fill(100), std::nullopt);
+  EXPECT_TRUE(cache.contains(100));
+  EXPECT_TRUE(cache.access(100, false));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, SetIndexing) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.set_index(0), 0u);
+  EXPECT_EQ(cache.set_index(5), 1u);
+  EXPECT_EQ(cache.set_index(7), 3u);
+}
+
+TEST(Cache, EvictionOnSetOverflow) {
+  Cache cache(small_cache());
+  // Lines 0, 4, 8 all map to set 0 in a 4-set cache; 2 ways.
+  cache.fill(0);
+  cache.fill(4);
+  cache.access(4, false);  // Make 0 the LRU.
+  const auto ev = cache.fill(8);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0u);
+  EXPECT_FALSE(ev->dirty);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_TRUE(cache.contains(8));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache cache(small_cache());
+  cache.fill(0, /*dirty=*/true);
+  cache.fill(4);
+  cache.access(4, false);
+  const auto ev = cache.fill(8);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteMarksDirty) {
+  Cache cache(small_cache());
+  cache.fill(0);
+  EXPECT_TRUE(cache.access(0, /*is_write=*/true));
+  const auto ev = cache.invalidate(0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, InvalidateMissingLineIsNoop) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.invalidate(42), std::nullopt);
+}
+
+TEST(Cache, RefillOfPresentLineUpdatesInsteadOfEvicting) {
+  Cache cache(small_cache());
+  cache.fill(0);
+  EXPECT_EQ(cache.fill(0, /*dirty=*/true), std::nullopt);
+  const auto ev = cache.invalidate(0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, ContainsDoesNotPerturbReplacement) {
+  Cache cache(small_cache());
+  cache.fill(0);
+  cache.fill(4);
+  cache.access(0, false);  // 4 is LRU.
+  // Probing 4 via contains() must not promote it.
+  EXPECT_TRUE(cache.contains(4));
+  const auto ev = cache.fill(8);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 4u);
+}
+
+TEST(Cache, ClearDropsEverything) {
+  Cache cache(small_cache());
+  cache.fill(0);
+  cache.fill(1);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Cache, ExactLruSequence) {
+  // Classic reference-string check on one set (lines 0,4,8,12 -> set 0).
+  CacheConfig config{"lru4", 1024, 4, 64, 1, ReplacementKind::kLru};
+  Cache cache(config);
+  auto touch = [&](LineAddr l) {
+    if (!cache.access(l * 4, false)) cache.fill(l * 4);
+  };
+  touch(0);
+  touch(1);
+  touch(2);
+  touch(3);
+  touch(0);            // Order: 0,3,2,1.
+  const auto ev = cache.fill(4 * 4);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 1u * 4);
+}
+
+TEST(Cache, MissRateAccounting) {
+  Cache cache(small_cache());
+  cache.access(0, false);
+  cache.fill(0);
+  cache.access(0, false);
+  cache.access(0, false);
+  EXPECT_NEAR(cache.stats().miss_rate(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace impact::cache

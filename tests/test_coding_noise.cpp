@@ -1,0 +1,172 @@
+// Unit + integration tests: channel coding, background noise, refresh.
+#include <gtest/gtest.h>
+
+#include "attacks/impact_pnm.hpp"
+#include "channel/coding.hpp"
+#include "dram/bank.hpp"
+#include "sys/noise.hpp"
+#include "util/rng.hpp"
+
+namespace impact {
+namespace {
+
+TEST(RepetitionCode, RoundTripNoErrors) {
+  util::Xoshiro256 rng(61);
+  const auto msg = util::BitVec::random(40, rng);
+  const auto coded = channel::encode_repetition(msg, 3);
+  EXPECT_EQ(coded.size(), 120u);
+  EXPECT_EQ(channel::decode_repetition(coded, 3), msg);
+}
+
+TEST(RepetitionCode, CorrectsSingleFlipsPerGroup) {
+  util::Xoshiro256 rng(62);
+  const auto msg = util::BitVec::random(40, rng);
+  auto coded = channel::encode_repetition(msg, 3);
+  // Flip one bit in every 3-bit group.
+  for (std::size_t g = 0; g < msg.size(); ++g) {
+    const std::size_t pos = g * 3 + rng.below(3);
+    coded.set(pos, !coded.get(pos));
+  }
+  EXPECT_EQ(channel::decode_repetition(coded, 3), msg);
+}
+
+TEST(RepetitionCode, RejectsEvenFactorAndBadLength) {
+  EXPECT_THROW((void)channel::encode_repetition(util::BitVec(4), 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)channel::decode_repetition(util::BitVec(10), 3),
+               std::invalid_argument);
+}
+
+TEST(Hamming74, RoundTripNoErrors) {
+  util::Xoshiro256 rng(63);
+  for (std::size_t bits : {4u, 8u, 15u, 64u}) {  // Incl. padded lengths.
+    const auto msg = util::BitVec::random(bits, rng);
+    const auto coded = channel::encode_hamming74(msg);
+    EXPECT_EQ(coded.size() % 7, 0u);
+    EXPECT_EQ(channel::decode_hamming74(coded, bits), msg);
+  }
+}
+
+TEST(Hamming74, CorrectsAnySingleBitErrorPerBlock) {
+  // Exhaustive property: every data nibble x every single-bit flip.
+  for (unsigned nibble = 0; nibble < 16; ++nibble) {
+    util::BitVec msg(4);
+    for (unsigned k = 0; k < 4; ++k) msg.set(k, (nibble >> k) & 1);
+    const auto coded = channel::encode_hamming74(msg);
+    for (std::size_t flip = 0; flip < 7; ++flip) {
+      auto corrupted = coded;
+      corrupted.set(flip, !corrupted.get(flip));
+      EXPECT_EQ(channel::decode_hamming74(corrupted, 4), msg)
+          << "nibble " << nibble << " flip " << flip;
+    }
+  }
+}
+
+TEST(Hamming74, DoubleErrorsAreBeyondTheCode) {
+  util::BitVec msg = util::BitVec::from_string("1011");
+  auto coded = channel::encode_hamming74(msg);
+  coded.set(0, !coded.get(0));
+  coded.set(1, !coded.get(1));
+  EXPECT_NE(channel::decode_hamming74(coded, 4), msg);
+}
+
+TEST(CodeKindTest, Rates) {
+  EXPECT_DOUBLE_EQ(channel::code_rate(channel::CodeKind::kNone), 1.0);
+  EXPECT_NEAR(channel::code_rate(channel::CodeKind::kRepetition3), 0.333,
+              0.001);
+  EXPECT_NEAR(channel::code_rate(channel::CodeKind::kHamming74), 0.571,
+              0.001);
+}
+
+TEST(CodedTransmission, QuietChannelAllCodesLossless) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  util::Xoshiro256 rng(64);
+  const auto msg = util::BitVec::random(64, rng);
+  for (const auto code :
+       {channel::CodeKind::kNone, channel::CodeKind::kRepetition3,
+        channel::CodeKind::kHamming74}) {
+    const auto r = channel::transmit_coded(attack, msg, code,
+                                           util::kDefaultFrequency);
+    EXPECT_EQ(r.residual_errors, 0u) << to_string(code);
+    EXPECT_EQ(r.decoded, msg) << to_string(code);
+    EXPECT_GT(r.goodput_mbps, 1.0);
+  }
+  // Rate ordering: uncoded > Hamming > repetition on a clean channel.
+  const auto none = channel::transmit_coded(
+      attack, msg, channel::CodeKind::kNone, util::kDefaultFrequency);
+  const auto ham = channel::transmit_coded(
+      attack, msg, channel::CodeKind::kHamming74, util::kDefaultFrequency);
+  const auto rep = channel::transmit_coded(
+      attack, msg, channel::CodeKind::kRepetition3,
+      util::kDefaultFrequency);
+  EXPECT_GT(none.goodput_mbps, ham.goodput_mbps);
+  EXPECT_GT(ham.goodput_mbps, rep.goodput_mbps);
+}
+
+TEST(BackgroundNoiseTest, RespectsRateAndFrontier) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  sys::NoiseConfig config;
+  config.accesses_per_kilocycle = 2.0;
+  sys::BackgroundNoise noise(config, system, 42);
+  noise.advance(100'000);
+  const auto issued = noise.accesses_issued();
+  EXPECT_NEAR(static_cast<double>(issued), 200.0, 80.0);
+  // Advancing to the same frontier adds nothing.
+  noise.advance(100'000);
+  EXPECT_EQ(noise.accesses_issued(), issued);
+}
+
+TEST(BackgroundNoiseTest, ZeroRateIsFree) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  sys::BackgroundNoise noise(sys::NoiseConfig{}, system, 42);
+  noise.advance(1'000'000);
+  EXPECT_EQ(noise.accesses_issued(), 0u);
+}
+
+TEST(BackgroundNoiseTest, RaisesChannelErrorRate) {
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  sys::NoiseConfig noise_config;
+  noise_config.accesses_per_kilocycle = 8.0;
+  sys::BackgroundNoise noise(noise_config, system, 42);
+  attacks::ImpactPnm attack(system);
+  attack.set_noise(&noise);
+  const auto report = attack.measure(128, 6, 65);
+  EXPECT_GT(report.error_rate(), 0.01);
+  EXPECT_LT(report.error_rate(), 0.35);  // Degraded, not destroyed.
+}
+
+TEST(RefreshTest, RefreshClosesRowsAndStallsBank) {
+  dram::TimingParams params;
+  params.trefi_ns = 1000.0;  // Aggressive for the test.
+  const auto timing = dram::Timing::from(params, util::kDefaultFrequency);
+  dram::Bank bank(timing, dram::RowPolicy::kOpenRow);
+  const auto r = bank.access(10, 100);
+  ASSERT_EQ(bank.open_row(r.completion), 10u);
+  // Cross the first tREFI boundary: the row buffer is precharged.
+  EXPECT_FALSE(bank.open_row(timing.trefi + 1).has_value());
+  // A command landing inside the refresh window waits for tRFC.
+  dram::Bank bank2(timing, dram::RowPolicy::kOpenRow);
+  const auto during = bank2.access(10, timing.trefi + 1);
+  EXPECT_GE(during.start, timing.trefi + timing.trfc);
+}
+
+TEST(RefreshTest, InjectsChannelErrors) {
+  sys::SystemConfig config;
+  config.dram.timing.trefi_ns = 2000.0;  // Far denser than real tREFI, to
+                                         // make the effect visible fast.
+  sys::MemorySystem system(config);
+  attacks::ImpactPnm attack(system);
+  const auto report = attack.measure(128, 6, 66);
+  EXPECT_GT(report.error_rate(), 0.005);
+  // And with refresh off, the same setup is error-free.
+  sys::SystemConfig clean = config;
+  clean.dram.timing.trefi_ns = 0.0;
+  sys::MemorySystem clean_system(clean);
+  attacks::ImpactPnm clean_attack(clean_system);
+  EXPECT_DOUBLE_EQ(clean_attack.measure(128, 6, 66).error_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace impact

@@ -1,0 +1,53 @@
+// Unit tests: CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace impact::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string dir = ::testing::TempDir();
+  CsvWriter csv(dir, "impact_csv_test", {"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"x,y", "he said \"hi\""});
+  const auto content = slurp(csv.path());
+  EXPECT_EQ(content,
+            "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  std::remove(csv.path().c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string dir = ::testing::TempDir();
+  CsvWriter csv(dir, "impact_csv_test2", {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), std::invalid_argument);
+  std::remove(csv.path().c_str());
+}
+
+TEST(CsvWriter, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz", "f", {"a"}),
+               std::invalid_argument);
+}
+
+TEST(CsvWriter, EnvLookup) {
+  unsetenv("IMPACT_RESULTS_DIR");
+  EXPECT_FALSE(CsvWriter::results_dir_from_env().has_value());
+  setenv("IMPACT_RESULTS_DIR", "/tmp", 1);
+  ASSERT_TRUE(CsvWriter::results_dir_from_env().has_value());
+  EXPECT_EQ(*CsvWriter::results_dir_from_env(), "/tmp");
+  unsetenv("IMPACT_RESULTS_DIR");
+}
+
+}  // namespace
+}  // namespace impact::util

@@ -1,0 +1,111 @@
+// Integration tests: do the §6 defenses actually neutralize IMPACT?
+#include <gtest/gtest.h>
+
+#include "attacks/impact_pnm.hpp"
+#include "attacks/impact_pum.hpp"
+#include "defense/defense.hpp"
+
+namespace impact::defense {
+namespace {
+
+TEST(DefenseTest, BaselineChannelCarriesInformation) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  const auto report = check_neutralized(attack);
+  EXPECT_FALSE(report.neutralized());
+  EXPECT_LT(report.error_rate, 0.02);
+}
+
+TEST(DefenseTest, ConstantTimeNeutralizesPnm) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  apply_policy(system, DefenseKind::kConstantTime);
+  attacks::ImpactPnm attack(system);
+  const auto report = check_neutralized(attack);
+  EXPECT_TRUE(report.neutralized());
+}
+
+TEST(DefenseTest, ClosedRowNeutralizesPnm) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  apply_policy(system, DefenseKind::kClosedRow);
+  attacks::ImpactPnm attack(system);
+  const auto report = check_neutralized(attack);
+  EXPECT_TRUE(report.neutralized());
+}
+
+TEST(DefenseTest, ConstantTimeNeutralizesPum) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  apply_policy(system, DefenseKind::kConstantTime);
+  attacks::ImpactPum attack(system);
+  const auto report = check_neutralized(attack);
+  EXPECT_TRUE(report.neutralized());
+}
+
+TEST(DefenseTest, ClosedRowNeutralizesPum) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  apply_policy(system, DefenseKind::kClosedRow);
+  attacks::ImpactPum attack(system);
+  const auto report = check_neutralized(attack);
+  EXPECT_TRUE(report.neutralized());
+}
+
+TEST(DefenseTest, PartitioningDeniesCoLocation) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  partition_banks(system, attacks::kSender, attacks::kReceiver);
+  // Banks are split sender/receiver: the two can no longer both touch the
+  // same bank, so channel setup itself faults.
+  attacks::ImpactPnm attack(system);
+  EXPECT_THROW((void)attack.transmit(util::BitVec(16, true)),
+               std::invalid_argument);
+  EXPECT_GT(system.controller().partition_faults(), 0u);
+}
+
+TEST(DefenseTest, PolicyCanBeLifted) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  apply_policy(system, DefenseKind::kConstantTime);
+  apply_policy(system, DefenseKind::kNone);
+  attacks::ImpactPnm attack(system);
+  EXPECT_FALSE(check_neutralized(attack).neutralized());
+}
+
+TEST(DefenseTest, MprRequiresAssignment) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  EXPECT_THROW(apply_policy(system, DefenseKind::kMemoryPartitioning),
+               std::invalid_argument);
+}
+
+TEST(DefenseTest, Names) {
+  EXPECT_STREQ(to_string(DefenseKind::kClosedRow), "CRP");
+  EXPECT_STREQ(to_string(DefenseKind::kConstantTime), "CTD");
+  EXPECT_STREQ(to_string(DefenseKind::kMemoryPartitioning), "MPR");
+  EXPECT_STREQ(to_string(DefenseKind::kAdaptiveRow), "adaptive");
+}
+
+TEST(AdaptivePolicy, KeepsStreamingHitsOpen) {
+  // Benign high-locality traffic: after a few hits the predictor keeps
+  // the row open and hit latencies return.
+  dram::MemoryController mc((dram::DramConfig()));
+  mc.set_policy(dram::RowPolicy::kAdaptive);
+  util::Cycle now = 0;
+  std::size_t hits = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto r = mc.access_row(0, 5, now);
+    hits += (r.outcome == dram::RowBufferOutcome::kHit);
+    now = r.completion + 50;
+  }
+  EXPECT_GE(hits, 13u);
+}
+
+TEST(AdaptivePolicy, DegradesTheCovertChannel) {
+  // The attack's conflict-heavy pattern burns the keep-open confidence,
+  // so the sender's interference is frequently auto-precharged away —
+  // the channel degrades well above its quiet-system error but is not
+  // fully eliminated (adaptive is a mitigation, not CRP).
+  sys::MemorySystem system{sys::SystemConfig{}};
+  apply_policy(system, DefenseKind::kAdaptiveRow);
+  attacks::ImpactPnm attack(system);
+  const auto report = check_neutralized(attack, 512);
+  EXPECT_GT(report.error_rate, 0.10);
+}
+
+}  // namespace
+}  // namespace impact::defense

@@ -1,0 +1,199 @@
+// Unit tests: the per-bank row-buffer state machine.
+#include <gtest/gtest.h>
+
+#include "dram/bank.hpp"
+#include "dram/config.hpp"
+
+namespace impact::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest() : timing_(DramConfig{}.derived_timing()) {}
+
+  Timing timing_;
+};
+
+TEST_F(BankTest, FirstAccessIsEmptyActivation) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto r = bank.access(10, 1000);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kEmpty);
+  EXPECT_EQ(r.completion - r.start, timing_.empty_latency());
+  EXPECT_EQ(bank.open_row(r.completion), 10u);
+}
+
+TEST_F(BankTest, SameRowHits) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto first = bank.access(10, 1000);
+  const auto r = bank.access(10, first.completion + 10);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kHit);
+  EXPECT_EQ(r.completion - r.start, timing_.hit_latency());
+}
+
+TEST_F(BankTest, DifferentRowConflicts) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto first = bank.access(10, 1000);
+  // Far enough after tRAS that the precharge is not delayed.
+  const auto r = bank.access(20, first.completion + 200);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kConflict);
+  EXPECT_EQ(r.completion - r.start, timing_.conflict_latency());
+  EXPECT_EQ(bank.open_row(r.completion), 20u);
+}
+
+TEST_F(BankTest, ConflictMinusHitIsTrpPlusTrcd) {
+  // The §3.1 timing channel: ~74 cycles at Table 2 parameters.
+  EXPECT_EQ(timing_.conflict_latency() - timing_.hit_latency(),
+            timing_.trp + timing_.trcd);
+  EXPECT_NEAR(static_cast<double>(timing_.conflict_latency() -
+                                  timing_.hit_latency()),
+              74.0, 4.0);
+}
+
+TEST_F(BankTest, TrasDelaysEarlyPrecharge) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto act = bank.access(10, 1000);
+  // Conflict immediately after the activation: PRE must wait for tRAS
+  // measured from the ACT start.
+  const auto r = bank.access(20, act.completion + 1);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kConflict);
+  EXPECT_GE(r.completion,
+            act.start + timing_.tras + timing_.conflict_latency());
+}
+
+TEST_F(BankTest, QueuingDelayWhenBusy) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto first = bank.access(10, 1000);
+  // Second command issued mid-flight starts only when the bank is ready.
+  const auto r = bank.access(10, first.start + 1);
+  EXPECT_EQ(r.start, first.completion);
+  EXPECT_GT(r.latency(first.start + 1), timing_.hit_latency());
+}
+
+TEST_F(BankTest, ClosedRowPolicyNeverHits) {
+  Bank bank(timing_, RowPolicy::kClosedRow);
+  auto r = bank.access(10, 1000);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kEmpty);
+  r = bank.access(10, r.completion + 500);
+  // CRP precharged after the access: the same row activates again.
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kEmpty);
+  EXPECT_FALSE(bank.open_row(r.completion + 500).has_value());
+}
+
+TEST_F(BankTest, ConstantTimeAlwaysWorstCase) {
+  Bank bank(timing_, RowPolicy::kConstantTime);
+  const auto a = bank.access(10, 1000);
+  const auto b = bank.access(10, a.completion + 300);
+  const auto c = bank.access(99, b.completion + 300);
+  EXPECT_EQ(a.completion - a.start, timing_.conflict_latency());
+  EXPECT_EQ(b.completion - b.start, timing_.conflict_latency());
+  EXPECT_EQ(c.completion - c.start, timing_.conflict_latency());
+  // And the observable outcome leaks nothing.
+  EXPECT_EQ(a.outcome, c.outcome);
+}
+
+TEST_F(BankTest, ContentionTimeoutModeKeepsIdleRowsOpen) {
+  Bank bank(timing_, RowPolicy::kOpenRow);  // Default: kContention.
+  const auto r = bank.access(10, 1000);
+  EXPECT_EQ(bank.open_row(r.completion + 1'000'000), 10u);
+}
+
+TEST_F(BankTest, IdlePrechargeTimeoutClosesRow) {
+  TimingParams params;
+  params.timeout_mode = RowTimeoutMode::kIdlePrecharge;
+  const Timing timing = Timing::from(params, util::kDefaultFrequency);
+  Bank bank(timing, RowPolicy::kOpenRow);
+  const auto r = bank.access(10, 1000);
+  EXPECT_EQ(bank.open_row(r.completion + timing.row_timeout - 1), 10u);
+  EXPECT_FALSE(
+      bank.open_row(r.completion + timing.row_timeout + 1).has_value());
+  // The next access is an empty activation, not a hit or conflict.
+  const auto next = bank.access(10, r.completion + timing.row_timeout + 500);
+  EXPECT_EQ(next.outcome, RowBufferOutcome::kEmpty);
+}
+
+TEST_F(BankTest, ExplicitPrecharge) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto r = bank.access(10, 1000);
+  bank.precharge(r.completion + 100);
+  EXPECT_FALSE(bank.open_row(r.completion + 1000).has_value());
+}
+
+TEST_F(BankTest, StallUntilDelaysCommands) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  bank.stall_until(5000);
+  const auto r = bank.access(10, 1000);
+  EXPECT_EQ(r.start, 5000u);
+}
+
+TEST_F(BankTest, StatsCountOutcomes) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  auto r = bank.access(10, 1000);
+  r = bank.access(10, r.completion + 10);
+  r = bank.access(20, r.completion + 200);
+  const auto& s = bank.stats();
+  EXPECT_EQ(s.empties, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.conflicts, 1u);
+  EXPECT_EQ(s.accesses(), 3u);
+  EXPECT_EQ(s.activations, 2u);
+  EXPECT_NEAR(s.hit_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(BankTest, AckEqualsCompletionForPlainAccess) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto r = bank.access(10, 1000);
+  EXPECT_EQ(r.ack, r.completion);
+}
+
+// --- RowClone at bank level -------------------------------------------
+
+TEST_F(BankTest, RowCloneOnEmptyBankTakesFpmLatency) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto r = bank.rowclone(4, 5, 1000);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kEmpty);
+  EXPECT_EQ(r.completion - r.start, timing_.rowclone_fpm);
+  EXPECT_EQ(r.ack - r.start, timing_.trcd);
+  EXPECT_EQ(bank.open_row(r.completion), 5u);  // dst stays connected.
+}
+
+TEST_F(BankTest, RowCloneConflictPaysPrecharge) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  const auto open = bank.access(99, 1000);
+  const auto r = bank.rowclone(4, 5, open.completion + 200);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kConflict);
+  EXPECT_EQ(r.completion - r.start, timing_.trp + timing_.rowclone_fpm);
+  EXPECT_EQ(r.ack - r.start, timing_.trp + timing_.trcd);
+}
+
+TEST_F(BankTest, SelfCloneHitIsFastPath) {
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  auto r = bank.rowclone(4, 4, 1000);  // Opens row 4.
+  r = bank.rowclone(4, 4, r.completion + 100);
+  EXPECT_EQ(r.outcome, RowBufferOutcome::kHit);
+  EXPECT_EQ(r.completion - r.start, timing_.tras);
+  EXPECT_EQ(r.ack - r.start, timing_.trcd);
+  // Self-healing: row 4 is still the open row.
+  EXPECT_EQ(bank.open_row(r.completion), 4u);
+}
+
+TEST_F(BankTest, RowCloneHitVsConflictAckMarginIsTrp) {
+  // The PuM receiver's decision margin.
+  Bank bank(timing_, RowPolicy::kOpenRow);
+  auto r = bank.rowclone(4, 4, 1000);
+  const auto hit = bank.rowclone(4, 4, r.completion + 100);
+  bank.access(99, hit.completion + 200);
+  const auto conflict = bank.rowclone(4, 4, hit.completion + 800);
+  EXPECT_EQ((conflict.ack - conflict.start) - (hit.ack - hit.start),
+            timing_.trp);
+}
+
+TEST_F(BankTest, RowCloneUnderConstantTimeIsPadded) {
+  Bank bank(timing_, RowPolicy::kConstantTime);
+  const auto a = bank.rowclone(4, 5, 1000);
+  const auto b = bank.rowclone(4, 5, a.completion + 400);
+  EXPECT_EQ(a.completion - a.start, b.completion - b.start);
+  EXPECT_EQ(a.ack - a.start, b.ack - b.start);
+}
+
+}  // namespace
+}  // namespace impact::dram

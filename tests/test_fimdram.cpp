@@ -1,0 +1,101 @@
+// Tests: the FIMDRAM-style PnM interface and the generalized attack.
+#include <gtest/gtest.h>
+
+#include "attacks/impact_fim.hpp"
+#include "attacks/impact_pnm.hpp"
+#include "attacks/registry.hpp"
+#include "pim/fimdram.hpp"
+
+namespace impact {
+namespace {
+
+TEST(FimDispatcher, SingleBankOpActivatesRow) {
+  dram::MemoryController mc((dram::DramConfig()));
+  pim::FimDispatcher fim(pim::FimConfig{}, mc, 1);
+  util::Cycle clock = 0;
+  const auto r = fim.execute_bank(5, 40, clock);
+  EXPECT_EQ(r.outcome, dram::RowBufferOutcome::kEmpty);
+  EXPECT_EQ(mc.open_row(5, clock), 40u);
+  EXPECT_EQ(clock, r.latency);
+}
+
+TEST(FimDispatcher, HitConflictMarginSurvivesMmioPath) {
+  dram::MemoryController mc((dram::DramConfig()));
+  pim::FimDispatcher fim(pim::FimConfig{}, mc, 1);
+  util::Cycle clock = 0;
+  (void)fim.execute_bank(2, 10, clock);
+  const auto hit = fim.execute_bank(2, 10, clock);
+  (void)fim.execute_bank(2, 11, clock);
+  const auto conflict = fim.execute_bank(2, 10, clock);
+  EXPECT_EQ(conflict.latency - hit.latency,
+            mc.timing().trp + mc.timing().trcd);
+}
+
+TEST(FimDispatcher, AllBankOpTouchesEveryBankInLockstep) {
+  dram::MemoryController mc((dram::DramConfig()));
+  pim::FimDispatcher fim(pim::FimConfig{}, mc, 1);
+  util::Cycle clock = 0;
+  const auto r = fim.execute_all_bank(7, clock);
+  EXPECT_EQ(r.bank_outcomes.size(), mc.banks());
+  for (dram::BankId b = 0; b < mc.banks(); ++b) {
+    EXPECT_EQ(mc.open_row(b, clock), 7u);
+  }
+  // Lockstep: the whole device op costs about one bank op, not banks x.
+  util::Cycle single_clock = clock;
+  const auto single = fim.execute_bank(0, 8, single_clock);
+  EXPECT_LT(r.latency, 3 * single.latency);
+}
+
+TEST(FimDispatcher, RespectsPartitioning) {
+  dram::MemoryController mc((dram::DramConfig()));
+  mc.set_partition_owner(3, 9);
+  pim::FimDispatcher fim(pim::FimConfig{}, mc, 1);
+  util::Cycle clock = 0;
+  EXPECT_THROW((void)fim.execute_bank(3, 10, clock),
+               std::invalid_argument);
+  EXPECT_THROW((void)fim.execute_all_bank(10, clock),
+               std::invalid_argument);
+}
+
+TEST(ImpactFimAttack, DecodesMessagesReliably) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactFim attack(system);
+  util::Xoshiro256 rng(111);
+  const auto r = attack.transmit(util::BitVec::random(64, rng));
+  EXPECT_EQ(r.report.bit_errors(), 0u);
+}
+
+TEST(ImpactFimAttack, ThroughputComparableToPeiVariant) {
+  sys::SystemConfig config;
+  double fim_mbps = 0.0;
+  double pei_mbps = 0.0;
+  {
+    sys::MemorySystem system(config);
+    attacks::ImpactFim attack(system);
+    fim_mbps =
+        attack.measure(64, 8, 112).throughput_mbps(config.frequency());
+  }
+  {
+    sys::MemorySystem system(config);
+    attacks::ImpactPnm attack(system);
+    pei_mbps =
+        attack.measure(64, 8, 112).throughput_mbps(config.frequency());
+  }
+  EXPECT_GT(fim_mbps, 0.7 * pei_mbps);
+  EXPECT_LT(fim_mbps, 1.5 * pei_mbps);
+}
+
+TEST(ImpactFimAttack, AvailableThroughRegistry) {
+  sys::SystemConfig config;
+  config.mapping =
+      attacks::recommended_mapping(attacks::AttackKind::kImpactFim);
+  sys::MemorySystem system(config);
+  auto attack =
+      attacks::make_attack(attacks::AttackKind::kImpactFim, system);
+  EXPECT_EQ(attack->name(), "IMPACT-FIM");
+  const auto report = attack->measure(32, 4, 113);
+  EXPECT_EQ(report.bits_correct, report.bits_total);
+}
+
+}  // namespace
+}  // namespace impact

@@ -1,0 +1,121 @@
+// Tests: the completion-attack inference stage.
+#include <gtest/gtest.h>
+
+#include "attacks/genome_inference.hpp"
+#include "attacks/side_channel.hpp"
+#include "genomics/genome.hpp"
+
+namespace impact::attacks {
+namespace {
+
+/// Builds a small table + reference and returns synthetic observations
+/// for a read at a known locus.
+class InferenceFixture : public ::testing::Test {
+ protected:
+  InferenceFixture() : rng_(55) {
+    genome_ = genomics::Genome::synthesize(1 << 18, rng_);
+    genomics::SeedTableConfig config;
+    table_ = std::make_unique<genomics::SeedTable>(config, kBanks);
+    table_->build(genome_);
+  }
+
+  /// Observations a read at `locus` would produce: the banks of the
+  /// buckets its minimizers hash into, at consecutive times.
+  std::vector<BankObservation> observations_for_read(
+      std::size_t locus, util::Cycle at) const {
+    const auto bases = genome_.slice(locus, 150);
+    const auto minimizers = genomics::extract_minimizers(
+        bases, table_->config().minimizer);
+    std::vector<BankObservation> out;
+    for (const auto& m : minimizers) {
+      const auto bucket = table_->bucket_of(m.hash);
+      out.push_back(BankObservation{table_->locate(bucket).bank, at});
+      at += 300;
+    }
+    return out;
+  }
+
+  static constexpr std::uint32_t kBanks = 1024;
+  util::Xoshiro256 rng_;
+  genomics::Genome genome_;
+  std::unique_ptr<genomics::SeedTable> table_;
+};
+
+TEST_F(InferenceFixture, CleanEpisodeRanksTrueLocusFirst) {
+  GenomeInference inference(*table_, genome_.size());
+  const std::size_t locus = 100000;
+  const auto episodes =
+      inference.infer(observations_for_read(locus, 1000));
+  ASSERT_EQ(episodes.size(), 1u);
+  ASSERT_FALSE(episodes[0].regions.empty());
+  // The top region must cover the read (within a bin).
+  const auto& best = episodes[0].regions.front();
+  EXPECT_NEAR(static_cast<double>(best.position),
+              static_cast<double>(locus), 512.0);
+  EXPECT_GE(best.support, 3u);
+}
+
+TEST_F(InferenceFixture, GapSplitsEpisodes) {
+  GenomeInference inference(*table_, genome_.size());
+  auto obs = observations_for_read(50000, 1000);
+  const auto second = observations_for_read(180000, 200000);
+  obs.insert(obs.end(), second.begin(), second.end());
+  const auto episodes = inference.infer(obs);
+  ASSERT_EQ(episodes.size(), 2u);
+}
+
+TEST_F(InferenceFixture, SparseEpisodesAreNotScored) {
+  InferenceConfig config;
+  config.min_banks = 5;
+  GenomeInference inference(*table_, genome_.size(), config);
+  const std::vector<BankObservation> obs = {{3, 100}, {9, 400}};
+  const auto episodes = inference.infer(obs);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_TRUE(episodes[0].regions.empty());
+}
+
+TEST_F(InferenceFixture, EvaluateMatchesTruthByTimeOverlap) {
+  GenomeInference inference(*table_, genome_.size());
+  const std::size_t locus = 100000;
+  const auto obs = observations_for_read(locus, 5000);
+  const std::vector<EpisodeTruth> truths = {
+      {locus, 5000, obs.back().time},
+      {12345, 900000, 950000},  // No overlapping episode: not evaluated.
+  };
+  const auto report = inference.evaluate(obs, truths);
+  EXPECT_EQ(report.evaluated_truths, 1u);
+  EXPECT_EQ(report.matched_truths, 1u);
+  EXPECT_GT(report.mean_candidate_positions, 0.0);
+}
+
+TEST(InferenceEndToEnd, SpyObservationsSupportInference) {
+  SideChannelConfig config;
+  config.banks = 1024;
+  config.reads = 16;
+  config.genome_length = 1ull << 17;
+  config.victim_alignment_compute = 1024 * 600ull;
+  ReadMappingSpy spy(config);
+  const auto run = spy.run();
+  ASSERT_FALSE(run.positives.empty());
+  ASSERT_FALSE(run.episode_truths.empty());
+
+  GenomeInference inference(
+      spy.table(), spy.reference_bases(),
+      InferenceConfig{1024 * 280ull, 256, 5, 3, 24});
+  const auto report = inference.evaluate(run.positives, run.episode_truths);
+  EXPECT_GT(report.scored, 3u);
+  EXPECT_GT(report.evaluated_truths, 3u);
+  EXPECT_GT(report.topk_hit_rate(), 0.3);
+}
+
+TEST(InferenceConfigTest, Validation) {
+  genomics::SeedTableConfig tconfig;
+  genomics::SeedTable table(tconfig, 1024);
+  EXPECT_THROW(GenomeInference(table, 0), std::invalid_argument);
+  InferenceConfig bad;
+  bad.bin_bases = 0;
+  EXPECT_THROW(GenomeInference(table, 100, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impact::attacks

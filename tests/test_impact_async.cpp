@@ -1,0 +1,75 @@
+// Tests: the synchronization-free slotted channel variant.
+#include <gtest/gtest.h>
+
+#include "attacks/impact_async.hpp"
+#include "attacks/impact_pnm.hpp"
+
+namespace impact::attacks {
+namespace {
+
+TEST(ImpactAsyncTest, DecodesCleanlyAtSafeSlotLengths) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  ImpactAsyncConfig config;
+  config.slot_cycles = 260;
+  ImpactAsync attack(system, config);
+  util::Xoshiro256 rng(121);
+  const auto r = attack.transmit(util::BitVec::random(128, rng));
+  EXPECT_EQ(r.report.bit_errors(), 0u);
+  EXPECT_DOUBLE_EQ(attack.overrun_rate(), 0.0);
+}
+
+TEST(ImpactAsyncTest, ThroughputTracksSlotLength) {
+  auto mbps = [](util::Cycle slot) {
+    sys::MemorySystem system{sys::SystemConfig{}};
+    ImpactAsyncConfig config;
+    config.slot_cycles = slot;
+    ImpactAsync attack(system, config);
+    return attack.measure(128, 4, 122)
+        .throughput_mbps(util::kDefaultFrequency);
+  };
+  // At safe slot lengths the bit rate is exactly one bit per slot.
+  EXPECT_NEAR(mbps(260), 2600.0 / 260.0, 0.5);
+  EXPECT_NEAR(mbps(400), 2600.0 / 400.0, 0.4);
+}
+
+TEST(ImpactAsyncTest, AggressiveSlotsOverrunAndDegrade) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  ImpactAsyncConfig config;
+  config.slot_cycles = 140;
+  ImpactAsync attack(system, config);
+  const auto report = attack.measure(256, 4, 123);
+  EXPECT_GT(attack.overrun_rate(), 0.5);
+  EXPECT_GT(report.error_rate(), 0.05);  // Slot aliasing bites.
+}
+
+TEST(ImpactAsyncTest, NoHandshakeBeatsSemaphoreVariantAtItsSweetSpot) {
+  double async_mbps = 0.0;
+  double sync_mbps = 0.0;
+  {
+    sys::MemorySystem system{sys::SystemConfig{}};
+    ImpactAsyncConfig config;
+    config.slot_cycles = 180;
+    ImpactAsync attack(system, config);
+    const auto r = attack.measure(128, 6, 124);
+    // Only meaningful if the channel still decodes.
+    EXPECT_LT(r.error_rate(), 0.02);
+    async_mbps = r.throughput_mbps(util::kDefaultFrequency);
+  }
+  {
+    sys::MemorySystem system{sys::SystemConfig{}};
+    ImpactPnm attack(system);
+    sync_mbps = attack.measure(128, 6, 124)
+                    .throughput_mbps(util::kDefaultFrequency);
+  }
+  EXPECT_GT(async_mbps, sync_mbps);
+}
+
+TEST(ImpactAsyncTest, RejectsInfeasibleSlots) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  ImpactAsyncConfig config;
+  config.slot_cycles = 80;
+  EXPECT_THROW(ImpactAsync(system, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impact::attacks

@@ -1,0 +1,75 @@
+// Tests: timing-based DRAM mapping reverse engineering.
+#include <gtest/gtest.h>
+
+#include "attacks/mapping_recon.hpp"
+
+namespace impact::attacks {
+namespace {
+
+class ReconSchemes
+    : public ::testing::TestWithParam<dram::MappingScheme> {};
+
+TEST_P(ReconSchemes, RecoversBankEquivalenceClasses) {
+  sys::SystemConfig config;
+  config.mapping = GetParam();
+  sys::MemorySystem system(config);
+  MappingRecon recon(system, /*actor=*/1);
+  const auto r = recon.run();
+  EXPECT_GT(r.pair_tests, 100u);
+  EXPECT_EQ(r.classes_found, r.classes_expected);
+  EXPECT_GT(r.pairwise_accuracy(), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ReconSchemes,
+    ::testing::Values(dram::MappingScheme::kBankInterleaved,
+                      dram::MappingScheme::kRowBankCol,
+                      dram::MappingScheme::kXorBankHash),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MappingReconTest, SameBankPrimitive) {
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  MappingRecon recon(system, 1);
+  auto& vmem = system.vmem();
+  const auto a = vmem.map_row(1, 5, 50);
+  const auto b = vmem.map_row(1, 5, 51);
+  const auto c = vmem.map_row(1, 6, 50);
+  system.warm_span(1, a);
+  system.warm_span(1, b);
+  system.warm_span(1, c);
+  EXPECT_TRUE(recon.same_bank(a.vaddr, b.vaddr));
+  EXPECT_FALSE(recon.same_bank(a.vaddr, c.vaddr));
+}
+
+TEST(MappingReconTest, ConfigValidation) {
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  ReconConfig bad;
+  bad.sample_addresses = 1;
+  EXPECT_THROW(MappingRecon(system, 1, bad), std::invalid_argument);
+  bad = ReconConfig{};
+  bad.rounds_per_pair = 1;
+  EXPECT_THROW(MappingRecon(system, 1, bad), std::invalid_argument);
+}
+
+TEST(MappingReconTest, DeterministicAcrossRuns) {
+  sys::SystemConfig config;
+  sys::MemorySystem s1(config);
+  sys::MemorySystem s2(config);
+  MappingRecon r1(s1, 1);
+  MappingRecon r2(s2, 1);
+  const auto a = r1.run();
+  const auto b = r2.run();
+  EXPECT_EQ(a.classes_found, b.classes_found);
+  EXPECT_EQ(a.pair_errors, b.pair_errors);
+}
+
+}  // namespace
+}  // namespace impact::attacks

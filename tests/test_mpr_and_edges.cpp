@@ -1,0 +1,138 @@
+// Tests: MPR cost model, side channel under defenses, channel framework
+// edge cases.
+#include <gtest/gtest.h>
+
+#include "attacks/impact_pnm.hpp"
+#include "attacks/side_channel.hpp"
+#include "defense/defense.hpp"
+#include "defense/mpr_model.hpp"
+
+namespace impact {
+namespace {
+
+using defense::AppDemand;
+
+dram::DramConfig small_device() {
+  dram::DramConfig d;
+  d.ranks = 1;
+  d.banks_per_rank = 8;
+  d.rows_per_bank = 1024;  // 8 MiB banks.
+  return d;
+}
+
+TEST(MprModel, AdmitsUntilBanksRunOut) {
+  const auto device = small_device();
+  // Each app needs 2 banks (12 MiB / 8 MiB-per-bank), 8 banks total.
+  std::vector<AppDemand> apps(6, AppDemand{12ull << 20, 0});
+  const auto r = defense::evaluate_mpr(device, apps);
+  EXPECT_EQ(r.apps_admitted, 4u);
+  EXPECT_EQ(r.apps_rejected, 2u);
+  EXPECT_EQ(r.banks_allocated, 8u);
+}
+
+TEST(MprModel, BankGranularityStrandsCapacity) {
+  const auto device = small_device();
+  // 1 MiB app occupies a whole 8 MiB bank.
+  const auto r = defense::evaluate_mpr(device, {AppDemand{1ull << 20, 0}});
+  EXPECT_EQ(r.banks_allocated, 1u);
+  EXPECT_NEAR(r.utilization(), 1.0 / 8.0, 1e-9);
+}
+
+TEST(MprModel, SharedDataIsDuplicatedPerApp) {
+  const auto device = small_device();
+  std::vector<AppDemand> apps(3, AppDemand{0, 4ull << 20});
+  const auto mpr = defense::evaluate_mpr(device, apps);
+  EXPECT_EQ(mpr.duplication_bytes, 2ull * (4ull << 20));
+  const auto shared = defense::evaluate_unpartitioned(device, apps);
+  EXPECT_EQ(shared.bytes_requested, 4ull << 20);  // Stored once.
+  EXPECT_GT(mpr.bytes_requested, shared.bytes_requested);
+}
+
+TEST(MprModel, UnpartitionedAdmitsEveryone) {
+  const auto device = small_device();
+  std::vector<AppDemand> apps(50, AppDemand{1ull << 20, 0});
+  const auto r = defense::evaluate_unpartitioned(device, apps);
+  EXPECT_EQ(r.apps_admitted, 50u);
+  EXPECT_EQ(r.apps_rejected, 0u);
+  EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+}
+
+TEST(SideChannelDefense, OpenRowBaselineLeaks) {
+  attacks::SideChannelConfig config;
+  config.banks = 1024;
+  config.genome_length = 1ull << 16;
+  config.reads = 4;
+  attacks::ReadMappingSpy baseline(config);
+  const auto open = baseline.run();
+  EXPECT_GT(open.probes.correct, open.probes.observations / 2);
+  EXPECT_LT(open.probes.error_rate(), 0.2);
+}
+
+TEST(SideChannelDefense, CtdRemovesThePeiTimingMargin) {
+  sys::SystemConfig config;
+  config.dram.policy = dram::RowPolicy::kConstantTime;
+  sys::MemorySystem system(config);
+  pim::PeiDispatcher pei(pim::PeiConfig{}, system, 1);
+  const auto a = system.vmem().map_row(1, 2, 10);
+  const auto b = system.vmem().map_row(1, 2, 11);
+  system.warm_span(1, a);
+  system.warm_span(1, b);
+  util::Cycle clock = 0;
+  auto col = [&] { return pei.next_bypass_column(8192, 64); };
+  (void)pei.execute(a.vaddr + col(), clock);
+  const auto hit_case = pei.execute(a.vaddr + col(), clock);
+  (void)pei.execute(b.vaddr + col(), clock);
+  const auto conflict_case = pei.execute(a.vaddr + col(), clock);
+  EXPECT_EQ(hit_case.latency, conflict_case.latency);
+}
+
+TEST(ChannelEdges, SingleBitMessage) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  const auto r = attack.transmit(util::BitVec::from_string("1"));
+  EXPECT_EQ(r.report.bits_total, 1u);
+  EXPECT_EQ(r.report.bit_errors(), 0u);
+}
+
+TEST(ChannelEdges, EmptyMessageRejected) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  EXPECT_THROW((void)attack.transmit(util::BitVec{}),
+               std::invalid_argument);
+}
+
+TEST(ChannelEdges, BatchLargerThanMessage) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnmConfig config;
+  config.channel.batch_bits = 64;
+  attacks::ImpactPnm attack(system, config);
+  const auto r = attack.transmit(util::BitVec::from_string("101"));
+  EXPECT_EQ(r.report.bit_errors(), 0u);
+}
+
+TEST(ChannelEdges, RepeatedTransmissionsStayClean) {
+  // State self-heals: 20 consecutive messages, no drift.
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  util::Xoshiro256 rng(81);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = attack.transmit(util::BitVec::random(32, rng));
+    EXPECT_EQ(r.report.bit_errors(), 0u) << "message " << i;
+  }
+}
+
+TEST(ChannelEdges, ConfigValidation) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnmConfig config;
+  config.channel.banks = 0;
+  EXPECT_THROW(attacks::ImpactPnm(system, config), std::invalid_argument);
+  config = attacks::ImpactPnmConfig{};
+  config.channel.banks = 100000;
+  EXPECT_THROW(attacks::ImpactPnm(system, config), std::invalid_argument);
+  config = attacks::ImpactPnmConfig{};
+  config.channel.sender_row = config.channel.receiver_row;
+  EXPECT_THROW(attacks::ImpactPnm(system, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impact

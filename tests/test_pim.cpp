@@ -1,0 +1,202 @@
+// Unit tests: PMU locality monitor, PEI dispatcher, RowClone unit,
+// off-chip predictor.
+#include <gtest/gtest.h>
+
+#include "pim/locality_monitor.hpp"
+#include "pim/offchip_predictor.hpp"
+#include "pim/pei.hpp"
+#include "pim/rowclone.hpp"
+#include "sys/system.hpp"
+
+namespace impact::pim {
+namespace {
+
+TEST(LocalityMonitor, ColdBlockGoesToMemory) {
+  LocalityMonitor pmu;
+  EXPECT_EQ(pmu.decide(100), PeiPlacement::kMemory);
+  EXPECT_EQ(pmu.stats().allocations, 1u);
+}
+
+TEST(LocalityMonitor, IgnoreFlagSkipsFirstHit) {
+  LocalityMonitor pmu;
+  (void)pmu.decide(100);  // Allocate with ignore flag.
+  EXPECT_EQ(pmu.decide(100), PeiPlacement::kMemory);  // Ignored first hit.
+  EXPECT_EQ(pmu.stats().ignored_first_hits, 1u);
+}
+
+TEST(LocalityMonitor, HotBlockMovesToHost) {
+  LocalityMonitorConfig config;
+  config.hot_threshold = 2;
+  LocalityMonitor pmu(config);
+  (void)pmu.decide(100);                              // Allocate.
+  (void)pmu.decide(100);                              // Ignored.
+  EXPECT_EQ(pmu.decide(100), PeiPlacement::kMemory);  // hits=1 < 2.
+  EXPECT_EQ(pmu.decide(100), PeiPlacement::kHost);    // hits=2.
+  EXPECT_GT(pmu.stats().host_decisions, 0u);
+}
+
+TEST(LocalityMonitor, AttackPatternStaysMemorySide) {
+  // The §4.1 bypass: touch every block at most twice.
+  LocalityMonitor pmu;
+  for (std::uint64_t block = 0; block < 256; ++block) {
+    EXPECT_EQ(pmu.decide(block), PeiPlacement::kMemory);
+    EXPECT_EQ(pmu.decide(block), PeiPlacement::kMemory);
+  }
+  EXPECT_EQ(pmu.stats().host_decisions, 0u);
+}
+
+TEST(LocalityMonitor, LruEvictionRecyclesEntries) {
+  LocalityMonitorConfig config;
+  config.entries = 4;
+  config.ways = 4;  // One set.
+  LocalityMonitor pmu(config);
+  for (std::uint64_t b = 0; b < 5; ++b) (void)pmu.decide(b);
+  // Block 0 was evicted; re-deciding allocates fresh (memory-side).
+  EXPECT_EQ(pmu.decide(0), PeiPlacement::kMemory);
+  EXPECT_EQ(pmu.stats().allocations, 6u);
+}
+
+class PeiTest : public ::testing::Test {
+ protected:
+  PeiTest() : system_(sys::SystemConfig{}), pei_(PeiConfig{}, system_, 1) {
+    span_ = system_.vmem().map_row(1, 4, 30);
+    system_.warm_span(1, span_);
+  }
+
+  sys::MemorySystem system_;
+  PeiDispatcher pei_;
+  sys::VSpan span_;
+};
+
+TEST_F(PeiTest, MemorySidePeiActivatesRow) {
+  util::Cycle clock = 0;
+  const auto r = pei_.execute(span_.vaddr, clock);
+  EXPECT_EQ(r.placement, PeiPlacement::kMemory);
+  EXPECT_EQ(r.bank, 4u);
+  EXPECT_EQ(system_.controller().open_row(4, clock), 30u);
+  EXPECT_EQ(clock, r.latency);
+}
+
+TEST_F(PeiTest, HitVsConflictVisibleThroughPei) {
+  util::Cycle clock = 0;
+  const auto other = system_.vmem().map_row(1, 4, 31);
+  system_.warm_span(1, other);
+  auto col = [&] { return pei_.next_bypass_column(8192, 64); };
+  (void)pei_.execute(span_.vaddr + col(), clock);
+  const auto hit = pei_.execute(span_.vaddr + col(), clock);
+  EXPECT_EQ(hit.outcome, dram::RowBufferOutcome::kHit);
+  (void)pei_.execute(other.vaddr + col(), clock);
+  const auto conflict = pei_.execute(span_.vaddr + col(), clock);
+  EXPECT_EQ(conflict.outcome, dram::RowBufferOutcome::kConflict);
+  EXPECT_GT(conflict.latency, hit.latency);
+}
+
+TEST_F(PeiTest, RepeatedBlockEventuallyHostPlaced) {
+  util::Cycle clock = 0;
+  PeiResult r;
+  for (int i = 0; i < 5; ++i) r = pei_.execute(span_.vaddr, clock);
+  EXPECT_EQ(r.placement, PeiPlacement::kHost);
+}
+
+TEST_F(PeiTest, BypassColumnsRotateThroughRow) {
+  std::set<std::uint32_t> cols;
+  for (int i = 0; i < 128; ++i) cols.insert(pei_.next_bypass_column(8192, 64));
+  EXPECT_EQ(cols.size(), 128u);  // 8192/64 distinct blocks.
+  // Wraps around afterwards.
+  EXPECT_EQ(pei_.next_bypass_column(8192, 64), *cols.begin());
+}
+
+class RowCloneUnitTest : public ::testing::Test {
+ protected:
+  RowCloneUnitTest()
+      : system_(sys::SystemConfig{}),
+        unit_(RowCloneConfig{}, system_, 1) {
+    src_ = system_.vmem().map_row_span(1, 8);
+    dst_ = system_.vmem().map_row_span(1, 9);
+    system_.warm_span(1, src_);
+    system_.warm_span(1, dst_);
+  }
+
+  sys::MemorySystem system_;
+  RowCloneUnit unit_;
+  sys::VSpan src_;
+  sys::VSpan dst_;
+};
+
+TEST_F(RowCloneUnitTest, MaskSelectsBanks) {
+  util::Cycle clock = 0;
+  const auto r = unit_.execute(
+      RowCloneRequest{src_.vaddr, dst_.vaddr, 0b1010}, clock);
+  ASSERT_EQ(r.legs.size(), 2u);
+  EXPECT_EQ(r.legs[0].bank, 1u);
+  EXPECT_EQ(r.legs[1].bank, 3u);
+  EXPECT_EQ(system_.controller().open_row(1, clock), 9u);
+  EXPECT_FALSE(system_.controller().open_row(0, clock).has_value());
+}
+
+TEST_F(RowCloneUnitTest, CopiesData) {
+  auto* data = system_.controller().data();
+  ASSERT_NE(data, nullptr);
+  const std::array<std::uint8_t, 4> payload{1, 2, 3, 4};
+  data->write(dram::DramAddress{2, 8, 0}, payload);
+  util::Cycle clock = 0;
+  (void)unit_.execute(RowCloneRequest{src_.vaddr, dst_.vaddr, 0b100}, clock);
+  std::array<std::uint8_t, 4> out{};
+  data->read(dram::DramAddress{2, 9, 0}, out);
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(RowCloneUnitTest, EmptyMaskRejected) {
+  util::Cycle clock = 0;
+  EXPECT_THROW(
+      (void)unit_.execute(RowCloneRequest{src_.vaddr, dst_.vaddr, 0}, clock),
+      std::invalid_argument);
+}
+
+TEST_F(RowCloneUnitTest, NonBlockingRetiresAtAck) {
+  RowCloneConfig blocking_cfg;
+  blocking_cfg.blocking = true;
+  RowCloneUnit blocking_unit(blocking_cfg, system_, 1);
+  util::Cycle nb_clock = 0;
+  util::Cycle b_clock = 0;
+  (void)unit_.execute(RowCloneRequest{src_.vaddr, dst_.vaddr, 1}, nb_clock);
+  (void)blocking_unit.execute(RowCloneRequest{src_.vaddr, dst_.vaddr, 2},
+                              b_clock);
+  EXPECT_LT(nb_clock, b_clock);
+}
+
+TEST(OffChipPredictorTest, InitialBiasIsOffChip) {
+  OffChipPredictor predictor;
+  EXPECT_TRUE(predictor.predict_offchip(1234));
+}
+
+TEST(OffChipPredictorTest, LearnsOnChipBlocks) {
+  OffChipPredictor predictor;
+  for (int i = 0; i < 16; ++i) predictor.train(42, /*was_offchip=*/false);
+  EXPECT_FALSE(predictor.predict_offchip(42));
+  // An unrelated block keeps the off-chip default.
+  EXPECT_TRUE(predictor.predict_offchip(0xABCDEF));
+}
+
+TEST(OffChipPredictorTest, PimAttackPatternStaysOffChipStable) {
+  // PiM operations never fill the cache, so the truth is always
+  // "off-chip" and the predictor reinforces memory-side execution: the
+  // positive feedback loop PnM-OffChip's attacker relies on.
+  OffChipPredictor predictor;
+  for (std::uint64_t block = 0; block < 512; ++block) {
+    EXPECT_TRUE(predictor.predict_and_train(block % 64, true));
+  }
+  EXPECT_GT(predictor.stats().accuracy(), 0.95);
+}
+
+TEST(OffChipPredictorTest, WeightsSaturate) {
+  OffChipPredictor predictor;
+  for (int i = 0; i < 1000; ++i) predictor.train(7, false);
+  for (int i = 0; i < 8; ++i) predictor.train(7, true);
+  // A long history cannot lock the prediction forever (clamped weights).
+  for (int i = 0; i < 40; ++i) predictor.train(7, true);
+  EXPECT_TRUE(predictor.predict_offchip(7));
+}
+
+}  // namespace
+}  // namespace impact::pim

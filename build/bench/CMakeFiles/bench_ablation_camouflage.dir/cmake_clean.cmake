@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_camouflage.dir/bench_ablation_camouflage.cpp.o"
+  "CMakeFiles/bench_ablation_camouflage.dir/bench_ablation_camouflage.cpp.o.d"
+  "bench_ablation_camouflage"
+  "bench_ablation_camouflage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_camouflage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_completion_attack.dir/bench_completion_attack.cpp.o"
+  "CMakeFiles/bench_completion_attack.dir/bench_completion_attack.cpp.o.d"
+  "bench_completion_attack"
+  "bench_completion_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_completion_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpr_utilization.dir/bench_mpr_utilization.cpp.o"
+  "CMakeFiles/bench_mpr_utilization.dir/bench_mpr_utilization.cpp.o.d"
+  "bench_mpr_utilization"
+  "bench_mpr_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpr_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rm_offload.dir/bench_rm_offload.cpp.o"
+  "CMakeFiles/bench_rm_offload.dir/bench_rm_offload.cpp.o.d"
+  "bench_rm_offload"
+  "bench_rm_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rm_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

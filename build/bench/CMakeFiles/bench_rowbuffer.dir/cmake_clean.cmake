@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rowbuffer.dir/bench_rowbuffer.cpp.o"
+  "CMakeFiles/bench_rowbuffer.dir/bench_rowbuffer.cpp.o.d"
+  "bench_rowbuffer"
+  "bench_rowbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rowbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

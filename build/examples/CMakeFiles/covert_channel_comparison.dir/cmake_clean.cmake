@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_channel_comparison.dir/covert_channel_comparison.cpp.o"
+  "CMakeFiles/covert_channel_comparison.dir/covert_channel_comparison.cpp.o.d"
+  "covert_channel_comparison"
+  "covert_channel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_channel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

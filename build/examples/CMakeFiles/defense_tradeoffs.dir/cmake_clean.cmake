@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_tradeoffs.dir/defense_tradeoffs.cpp.o"
+  "CMakeFiles/defense_tradeoffs.dir/defense_tradeoffs.cpp.o.d"
+  "defense_tradeoffs"
+  "defense_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_spy.dir/genome_spy.cpp.o"
+  "CMakeFiles/genome_spy.dir/genome_spy.cpp.o.d"
+  "genome_spy"
+  "genome_spy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_spy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

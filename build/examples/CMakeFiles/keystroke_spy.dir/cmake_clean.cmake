@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keystroke_spy.dir/keystroke_spy.cpp.o"
+  "CMakeFiles/keystroke_spy.dir/keystroke_spy.cpp.o.d"
+  "keystroke_spy"
+  "keystroke_spy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keystroke_spy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for keystroke_spy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowclone_bulk_copy.dir/rowclone_bulk_copy.cpp.o"
+  "CMakeFiles/rowclone_bulk_copy.dir/rowclone_bulk_copy.cpp.o.d"
+  "rowclone_bulk_copy"
+  "rowclone_bulk_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowclone_bulk_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

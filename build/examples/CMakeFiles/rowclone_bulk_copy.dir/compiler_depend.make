@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rowclone_bulk_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/common.cpp" "src/CMakeFiles/impact.dir/attacks/common.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/common.cpp.o.d"
+  "/root/repo/src/attacks/drama.cpp" "src/CMakeFiles/impact.dir/attacks/drama.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/drama.cpp.o.d"
+  "/root/repo/src/attacks/genome_inference.cpp" "src/CMakeFiles/impact.dir/attacks/genome_inference.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/genome_inference.cpp.o.d"
+  "/root/repo/src/attacks/impact_async.cpp" "src/CMakeFiles/impact.dir/attacks/impact_async.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/impact_async.cpp.o.d"
+  "/root/repo/src/attacks/impact_fim.cpp" "src/CMakeFiles/impact.dir/attacks/impact_fim.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/impact_fim.cpp.o.d"
+  "/root/repo/src/attacks/impact_pnm.cpp" "src/CMakeFiles/impact.dir/attacks/impact_pnm.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/impact_pnm.cpp.o.d"
+  "/root/repo/src/attacks/impact_pum.cpp" "src/CMakeFiles/impact.dir/attacks/impact_pum.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/impact_pum.cpp.o.d"
+  "/root/repo/src/attacks/mapping_recon.cpp" "src/CMakeFiles/impact.dir/attacks/mapping_recon.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/mapping_recon.cpp.o.d"
+  "/root/repo/src/attacks/pnm_offchip.cpp" "src/CMakeFiles/impact.dir/attacks/pnm_offchip.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/pnm_offchip.cpp.o.d"
+  "/root/repo/src/attacks/registry.cpp" "src/CMakeFiles/impact.dir/attacks/registry.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/registry.cpp.o.d"
+  "/root/repo/src/attacks/side_channel.cpp" "src/CMakeFiles/impact.dir/attacks/side_channel.cpp.o" "gcc" "src/CMakeFiles/impact.dir/attacks/side_channel.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/impact.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/impact.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/CMakeFiles/impact.dir/cache/hierarchy.cpp.o" "gcc" "src/CMakeFiles/impact.dir/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/cache/latency_model.cpp" "src/CMakeFiles/impact.dir/cache/latency_model.cpp.o" "gcc" "src/CMakeFiles/impact.dir/cache/latency_model.cpp.o.d"
+  "/root/repo/src/cache/prefetcher.cpp" "src/CMakeFiles/impact.dir/cache/prefetcher.cpp.o" "gcc" "src/CMakeFiles/impact.dir/cache/prefetcher.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/CMakeFiles/impact.dir/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/impact.dir/cache/replacement.cpp.o.d"
+  "/root/repo/src/channel/attack.cpp" "src/CMakeFiles/impact.dir/channel/attack.cpp.o" "gcc" "src/CMakeFiles/impact.dir/channel/attack.cpp.o.d"
+  "/root/repo/src/channel/coding.cpp" "src/CMakeFiles/impact.dir/channel/coding.cpp.o" "gcc" "src/CMakeFiles/impact.dir/channel/coding.cpp.o.d"
+  "/root/repo/src/defense/defense.cpp" "src/CMakeFiles/impact.dir/defense/defense.cpp.o" "gcc" "src/CMakeFiles/impact.dir/defense/defense.cpp.o.d"
+  "/root/repo/src/defense/mpr_model.cpp" "src/CMakeFiles/impact.dir/defense/mpr_model.cpp.o" "gcc" "src/CMakeFiles/impact.dir/defense/mpr_model.cpp.o.d"
+  "/root/repo/src/dram/address_mapping.cpp" "src/CMakeFiles/impact.dir/dram/address_mapping.cpp.o" "gcc" "src/CMakeFiles/impact.dir/dram/address_mapping.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/impact.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/impact.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/CMakeFiles/impact.dir/dram/controller.cpp.o" "gcc" "src/CMakeFiles/impact.dir/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/data_array.cpp" "src/CMakeFiles/impact.dir/dram/data_array.cpp.o" "gcc" "src/CMakeFiles/impact.dir/dram/data_array.cpp.o.d"
+  "/root/repo/src/genomics/align.cpp" "src/CMakeFiles/impact.dir/genomics/align.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/align.cpp.o.d"
+  "/root/repo/src/genomics/chain.cpp" "src/CMakeFiles/impact.dir/genomics/chain.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/chain.cpp.o.d"
+  "/root/repo/src/genomics/genome.cpp" "src/CMakeFiles/impact.dir/genomics/genome.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/genome.cpp.o.d"
+  "/root/repo/src/genomics/kmer.cpp" "src/CMakeFiles/impact.dir/genomics/kmer.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/kmer.cpp.o.d"
+  "/root/repo/src/genomics/leak.cpp" "src/CMakeFiles/impact.dir/genomics/leak.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/leak.cpp.o.d"
+  "/root/repo/src/genomics/mapper.cpp" "src/CMakeFiles/impact.dir/genomics/mapper.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/mapper.cpp.o.d"
+  "/root/repo/src/genomics/seed_table.cpp" "src/CMakeFiles/impact.dir/genomics/seed_table.cpp.o" "gcc" "src/CMakeFiles/impact.dir/genomics/seed_table.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/impact.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/impact.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/multiprog.cpp" "src/CMakeFiles/impact.dir/graph/multiprog.cpp.o" "gcc" "src/CMakeFiles/impact.dir/graph/multiprog.cpp.o.d"
+  "/root/repo/src/graph/workload.cpp" "src/CMakeFiles/impact.dir/graph/workload.cpp.o" "gcc" "src/CMakeFiles/impact.dir/graph/workload.cpp.o.d"
+  "/root/repo/src/model/cache_attack_model.cpp" "src/CMakeFiles/impact.dir/model/cache_attack_model.cpp.o" "gcc" "src/CMakeFiles/impact.dir/model/cache_attack_model.cpp.o.d"
+  "/root/repo/src/pim/fimdram.cpp" "src/CMakeFiles/impact.dir/pim/fimdram.cpp.o" "gcc" "src/CMakeFiles/impact.dir/pim/fimdram.cpp.o.d"
+  "/root/repo/src/pim/locality_monitor.cpp" "src/CMakeFiles/impact.dir/pim/locality_monitor.cpp.o" "gcc" "src/CMakeFiles/impact.dir/pim/locality_monitor.cpp.o.d"
+  "/root/repo/src/pim/offchip_predictor.cpp" "src/CMakeFiles/impact.dir/pim/offchip_predictor.cpp.o" "gcc" "src/CMakeFiles/impact.dir/pim/offchip_predictor.cpp.o.d"
+  "/root/repo/src/pim/pei.cpp" "src/CMakeFiles/impact.dir/pim/pei.cpp.o" "gcc" "src/CMakeFiles/impact.dir/pim/pei.cpp.o.d"
+  "/root/repo/src/pim/rowclone.cpp" "src/CMakeFiles/impact.dir/pim/rowclone.cpp.o" "gcc" "src/CMakeFiles/impact.dir/pim/rowclone.cpp.o.d"
+  "/root/repo/src/sys/noise.cpp" "src/CMakeFiles/impact.dir/sys/noise.cpp.o" "gcc" "src/CMakeFiles/impact.dir/sys/noise.cpp.o.d"
+  "/root/repo/src/sys/system.cpp" "src/CMakeFiles/impact.dir/sys/system.cpp.o" "gcc" "src/CMakeFiles/impact.dir/sys/system.cpp.o.d"
+  "/root/repo/src/sys/tlb.cpp" "src/CMakeFiles/impact.dir/sys/tlb.cpp.o" "gcc" "src/CMakeFiles/impact.dir/sys/tlb.cpp.o.d"
+  "/root/repo/src/sys/vmem.cpp" "src/CMakeFiles/impact.dir/sys/vmem.cpp.o" "gcc" "src/CMakeFiles/impact.dir/sys/vmem.cpp.o.d"
+  "/root/repo/src/util/bitvec.cpp" "src/CMakeFiles/impact.dir/util/bitvec.cpp.o" "gcc" "src/CMakeFiles/impact.dir/util/bitvec.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/impact.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/impact.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/impact.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/impact.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/impact.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/impact.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/impact.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/impact.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/impact.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/impact.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

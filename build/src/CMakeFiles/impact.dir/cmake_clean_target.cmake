@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimpact.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacks_covert.dir/test_attacks_covert.cpp.o"
+  "CMakeFiles/test_attacks_covert.dir/test_attacks_covert.cpp.o.d"
+  "test_attacks_covert"
+  "test_attacks_covert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacks_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

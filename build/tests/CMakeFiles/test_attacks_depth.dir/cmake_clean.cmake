@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacks_depth.dir/test_attacks_depth.cpp.o"
+  "CMakeFiles/test_attacks_depth.dir/test_attacks_depth.cpp.o.d"
+  "test_attacks_depth"
+  "test_attacks_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacks_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacks_side.dir/test_attacks_side.cpp.o"
+  "CMakeFiles/test_attacks_side.dir/test_attacks_side.cpp.o.d"
+  "test_attacks_side"
+  "test_attacks_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacks_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding_noise.dir/test_coding_noise.cpp.o"
+  "CMakeFiles/test_coding_noise.dir/test_coding_noise.cpp.o.d"
+  "test_coding_noise"
+  "test_coding_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_misc.dir/test_coverage_misc.cpp.o"
+  "CMakeFiles/test_coverage_misc.dir/test_coverage_misc.cpp.o.d"
+  "test_coverage_misc"
+  "test_coverage_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

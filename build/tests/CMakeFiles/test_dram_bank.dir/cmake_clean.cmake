@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_bank.dir/test_dram_bank.cpp.o"
+  "CMakeFiles/test_dram_bank.dir/test_dram_bank.cpp.o.d"
+  "test_dram_bank"
+  "test_dram_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_mapping.dir/test_dram_mapping.cpp.o"
+  "CMakeFiles/test_dram_mapping.dir/test_dram_mapping.cpp.o.d"
+  "test_dram_mapping"
+  "test_dram_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fimdram.dir/test_fimdram.cpp.o"
+  "CMakeFiles/test_fimdram.dir/test_fimdram.cpp.o.d"
+  "test_fimdram"
+  "test_fimdram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fimdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

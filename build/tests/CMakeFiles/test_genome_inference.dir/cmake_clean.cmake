@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genome_inference.dir/test_genome_inference.cpp.o"
+  "CMakeFiles/test_genome_inference.dir/test_genome_inference.cpp.o.d"
+  "test_genome_inference"
+  "test_genome_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genome_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

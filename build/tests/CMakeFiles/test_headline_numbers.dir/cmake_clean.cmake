@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_headline_numbers.dir/test_headline_numbers.cpp.o"
+  "CMakeFiles/test_headline_numbers.dir/test_headline_numbers.cpp.o.d"
+  "test_headline_numbers"
+  "test_headline_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_headline_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impact_async.dir/test_impact_async.cpp.o"
+  "CMakeFiles/test_impact_async.dir/test_impact_async.cpp.o.d"
+  "test_impact_async"
+  "test_impact_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impact_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_recon.dir/test_mapping_recon.cpp.o"
+  "CMakeFiles/test_mapping_recon.dir/test_mapping_recon.cpp.o.d"
+  "test_mapping_recon"
+  "test_mapping_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

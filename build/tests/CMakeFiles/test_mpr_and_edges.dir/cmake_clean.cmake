@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpr_and_edges.dir/test_mpr_and_edges.cpp.o"
+  "CMakeFiles/test_mpr_and_edges.dir/test_mpr_and_edges.cpp.o.d"
+  "test_mpr_and_edges"
+  "test_mpr_and_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpr_and_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim.dir/test_pim.cpp.o"
+  "CMakeFiles/test_pim.dir/test_pim.cpp.o.d"
+  "test_pim"
+  "test_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

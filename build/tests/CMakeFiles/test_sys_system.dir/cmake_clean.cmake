@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_system.dir/test_sys_system.cpp.o"
+  "CMakeFiles/test_sys_system.dir/test_sys_system.cpp.o.d"
+  "test_sys_system"
+  "test_sys_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

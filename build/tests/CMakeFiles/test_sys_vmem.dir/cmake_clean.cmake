@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_vmem.dir/test_sys_vmem.cpp.o"
+  "CMakeFiles/test_sys_vmem.dir/test_sys_vmem.cpp.o.d"
+  "test_sys_vmem"
+  "test_sys_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

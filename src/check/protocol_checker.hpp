@@ -1,0 +1,121 @@
+// Online JEDEC-style protocol validation for the DRAM timing model.
+//
+// Every headline number this reproduction reports is a latency produced by
+// the bank/controller state machines; a silent timing bug corrupts results
+// without failing a single functional test. The ProtocolChecker attaches to
+// the banks as a CommandObserver and validates, per command:
+//
+//   monotonic-start       per-bank command start times never go backwards
+//   time-travel           issue <= start <= ack <= completion
+//   row-state             the row-buffer state machine takes only legal
+//                         transitions (a Hit requires the same row to have
+//                         been left open by a prior ACT; a Conflict requires
+//                         a different row open, i.e. implies PRE+ACT)
+//   min-latency           tRCD/tRP/tCAS/tBL/tRAS ordering: a command cannot
+//                         complete faster than its outcome class allows,
+//                         including the tRAS window before a conflict PRE
+//   ct-latency            under the constant-time policy every access pads
+//                         to exactly the worst-case latency
+//   rowclone-ack          RowClone ack is at/after the second ACT issue and
+//                         never after completion
+//   stats-mismatch        BankStats counters reconcile with the command
+//                         stream (reconcile_stats / controller teardown)
+//
+// Each bank keeps a small ring buffer of recent commands; a violation
+// report shows the last N commands on the offending bank so the illegal
+// transition can be read in context.
+//
+// The checker is attached automatically by MemoryController when
+// `IMPACT_CHECK=1` is set (or by default in debug builds — see
+// `env_enabled`), in which case any violation aborts the process like a
+// failed IMPACT_ASSERT. Tests construct it directly in kCollect mode and
+// inspect `violations()`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/bank.hpp"
+#include "dram/config.hpp"
+#include "dram/observer.hpp"
+#include "dram/types.hpp"
+#include "util/units.hpp"
+
+namespace impact::check {
+
+/// What the checker does when a rule fires.
+enum class FailMode : std::uint8_t {
+  kCollect,  ///< Record the violation; caller inspects violations().
+  kAbort,    ///< Print the report (with trace) to stderr and abort.
+};
+
+/// One detected protocol violation.
+struct Violation {
+  dram::BankId bank = 0;
+  std::string rule;     ///< Stable rule name (e.g. "monotonic-start").
+  std::string message;  ///< Human-readable description with cycle numbers.
+  std::string trace;    ///< Recent commands on the bank, one per line.
+
+  /// Full report: rule, bank, message, then the trace.
+  [[nodiscard]] std::string report() const;
+};
+
+class ProtocolChecker : public dram::CommandObserver {
+ public:
+  explicit ProtocolChecker(const dram::Timing& timing,
+                           FailMode mode = FailMode::kCollect,
+                           std::size_t trace_depth = 16);
+
+  // CommandObserver
+  void on_command(const dram::CommandRecord& record) override;
+  void on_stats_reset(dram::BankId bank) override;
+
+  /// Verifies that `stats` (as reported by the bank) match the counters the
+  /// checker derived from the observed command stream.
+  void reconcile_stats(dram::BankId bank, const dram::BankStats& stats);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t commands_checked() const {
+    return commands_checked_;
+  }
+  /// Formatted trace of the last commands observed on `bank`.
+  [[nodiscard]] std::string trace(dram::BankId bank) const;
+  void clear();
+
+  /// Runtime enablement: `IMPACT_CHECK=1` forces on, `IMPACT_CHECK=0`
+  /// forces off; unset means on in debug (!NDEBUG) builds and off in
+  /// release builds, so benches measure the unchecked hot path by default.
+  [[nodiscard]] static bool env_enabled();
+
+ private:
+  struct BankState {
+    bool seen = false;               ///< Any command observed yet.
+    util::Cycle last_start = 0;
+    util::Cycle last_activate = 0;   ///< Start cycle of the latest ACT.
+    bool open = false;               ///< Shadow row-buffer state.
+    dram::RowId open_row = 0;
+    dram::BankStats derived;         ///< Counters recomputed from stream.
+    std::vector<dram::CommandRecord> ring;  ///< Recent commands.
+    std::size_t ring_next = 0;
+  };
+
+  BankState& state_for(dram::BankId bank);
+  void record_violation(dram::BankId bank, const char* rule,
+                        std::string message);
+  void check_timing(const dram::CommandRecord& r, const BankState& s);
+  void check_row_state(const dram::CommandRecord& r, const BankState& s);
+  void apply(const dram::CommandRecord& r, BankState& s);
+
+  const dram::Timing timing_;
+  FailMode mode_;
+  std::size_t trace_depth_;
+  std::vector<BankState> states_;
+  std::vector<Violation> violations_;
+  std::uint64_t commands_checked_ = 0;
+};
+
+}  // namespace impact::check

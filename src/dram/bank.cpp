@@ -41,21 +41,18 @@ BankAccessResult Bank::access(RowId row, util::Cycle now) {
   (void)open_row(now);
   r.start = std::max(now, ready_at_);
   r.outcome = resolve_outcome(row, r.start);
-  // For plain accesses the acknowledgement is the data return itself;
-  // every exit path below sets completion, so mirror it on return.
-  struct AckMirror {
-    BankAccessResult& r;
-    ~AckMirror() { r.ack = r.completion; }
-  } mirror{r};
+  // For plain accesses the acknowledgement is the data return itself.
   // Constant-time policy: the controller pads every access to the
   // worst-case latency and always restores the bank to the precharged
   // state, so no row-buffer state is observable across accesses.
   if (policy_ == RowPolicy::kConstantTime) {
     r.completion = r.start + timing_->conflict_latency();
+    r.ack = r.completion;
     open_row_.reset();
     ready_at_ = r.completion;
     last_touch_ = r.completion;
     ++stats_.activations;
+    const RowBufferOutcome true_outcome = r.outcome;
     switch (r.outcome) {
       case RowBufferOutcome::kHit:
         ++stats_.hits;
@@ -67,6 +64,7 @@ BankAccessResult Bank::access(RowId row, util::Cycle now) {
         ++stats_.conflicts;
         break;
     }
+    notify(CommandKind::kAccess, row, row, now, r, true_outcome);
     // The observable outcome is constant regardless of internal state.
     r.outcome = RowBufferOutcome::kConflict;
     return r;
@@ -98,6 +96,7 @@ BankAccessResult Bank::access(RowId row, util::Cycle now) {
     }
   }
   r.completion = t;
+  r.ack = r.completion;
   last_touch_ = r.completion;
 
   // Adaptive open-page prediction: hits build confidence to keep rows
@@ -125,6 +124,7 @@ BankAccessResult Bank::access(RowId row, util::Cycle now) {
   } else {
     ready_at_ = r.completion;
   }
+  notify(CommandKind::kAccess, row, row, now, r, r.outcome);
   return r;
 }
 
@@ -165,6 +165,7 @@ BankAccessResult Bank::rowclone(RowId src, RowId dst, util::Cycle now) {
   last_activate_ = r.start;
   last_touch_ = r.completion;
   open_row_ = dst;  // The second activation leaves dst connected.
+  const RowBufferOutcome true_outcome = r.outcome;
 
   if (policy_ == RowPolicy::kClosedRow ||
       policy_ == RowPolicy::kConstantTime) {
@@ -182,6 +183,7 @@ BankAccessResult Bank::rowclone(RowId src, RowId dst, util::Cycle now) {
   } else {
     ready_at_ = r.completion;
   }
+  notify(CommandKind::kRowClone, dst, src, now, r, true_outcome);
   return r;
 }
 
@@ -194,6 +196,33 @@ void Bank::precharge(util::Cycle now) {
   const util::Cycle pre_start = std::max(start, last_activate_ + timing_->tras);
   ready_at_ = pre_start + timing_->trp;
   open_row_.reset();
+  if (observer_ != nullptr) {
+    BankAccessResult r;
+    r.start = start;
+    r.completion = ready_at_;
+    r.ack = r.completion;
+    notify(CommandKind::kPrecharge, 0, 0, now, r,
+           RowBufferOutcome::kEmpty);
+  }
+}
+
+void Bank::notify(CommandKind kind, RowId row, RowId src, util::Cycle issue,
+                  const BankAccessResult& r, RowBufferOutcome true_outcome) {
+  if (observer_ == nullptr) return;
+  CommandRecord rec;
+  rec.kind = kind;
+  rec.bank = id_;
+  rec.row = row;
+  rec.src_row = src;
+  rec.issue = issue;
+  rec.start = r.start;
+  rec.ack = r.ack;
+  rec.completion = r.completion;
+  rec.outcome = true_outcome;
+  rec.policy = policy_;
+  rec.open_after = open_row_.has_value();
+  rec.open_row_after = open_row_.value_or(0);
+  observer_->on_command(rec);
 }
 
 }  // namespace impact::dram

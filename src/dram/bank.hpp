@@ -14,7 +14,9 @@
 #include <optional>
 
 #include "dram/config.hpp"
+#include "dram/observer.hpp"
 #include "dram/types.hpp"
+#include "util/assert.hpp"
 #include "util/units.hpp"
 
 namespace impact::dram {
@@ -31,8 +33,11 @@ struct BankAccessResult {
   RowBufferOutcome outcome = RowBufferOutcome::kEmpty;
 
   /// Latency from the actor's point of view (issue -> data), including any
-  /// queuing delay behind other actors' commands.
+  /// queuing delay behind other actors' commands. `Cycle` is unsigned, so
+  /// an out-of-order pair would wrap into an absurdly large latency that
+  /// still looks plausible downstream — assert instead.
   [[nodiscard]] util::Cycle latency(util::Cycle issued_at) const {
+    IMPACT_ASSERT(completion >= issued_at);
     return completion - issued_at;
   }
 };
@@ -92,12 +97,28 @@ class Bank {
   void precharge(util::Cycle now);
 
   [[nodiscard]] const BankStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = BankStats{}; }
+  void reset_stats() {
+    stats_ = BankStats{};
+    if (observer_ != nullptr) observer_->on_stats_reset(id_);
+  }
 
   [[nodiscard]] RowPolicy policy() const { return policy_; }
   void set_policy(RowPolicy p) { policy_ = p; }
 
+  /// Attaches a command observer (nullptr detaches). The bank does not know
+  /// its own index in the controller, so the flat id to stamp on records is
+  /// provided here.
+  void set_observer(CommandObserver* observer, BankId id) {
+    observer_ = observer;
+    id_ = id;
+  }
+
  private:
+  /// Emits a record for a just-completed command. `true_outcome` is the
+  /// internal classification before any constant-time masking.
+  void notify(CommandKind kind, RowId row, RowId src, util::Cycle issue,
+              const BankAccessResult& r, RowBufferOutcome true_outcome);
+
   /// Applies the open-row idle timeout as of `now` and classifies what the
   /// requested activation will see.
   RowBufferOutcome resolve_outcome(RowId row, util::Cycle start);
@@ -113,6 +134,8 @@ class Bank {
   /// lower; the row auto-precharges while confidence is low).
   std::uint8_t open_confidence_ = 2;
   BankStats stats_;
+  CommandObserver* observer_ = nullptr;
+  BankId id_ = 0;
 };
 
 }  // namespace impact::dram

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/protocol_checker.hpp"
 #include "util/assert.hpp"
 
 namespace impact::dram {
@@ -18,6 +19,30 @@ MemoryController::MemoryController(DramConfig config, MappingScheme scheme,
   }
   owners_.assign(config_.total_banks(), kAnyActor);
   if (with_data) data_.emplace(config_);
+  if (check::ProtocolChecker::env_enabled()) {
+    checker_ = std::make_unique<check::ProtocolChecker>(
+        timing_, check::FailMode::kAbort);
+    for (BankId i = 0; i < banks_.size(); ++i) {
+      banks_[i].set_observer(checker_.get(), i);
+    }
+  }
+}
+
+MemoryController::~MemoryController() {
+  // A stats/stream divergence is a simulator bug even if no per-command
+  // rule fired; in abort mode reconcile_stats() reports and aborts.
+  if (checker_) {
+    for (BankId i = 0; i < banks_.size(); ++i) {
+      checker_->reconcile_stats(i, banks_[i].stats());
+    }
+  }
+}
+
+void MemoryController::set_observer(CommandObserver* observer) {
+  checker_.reset();
+  for (BankId i = 0; i < banks_.size(); ++i) {
+    banks_[i].set_observer(observer, i);
+  }
 }
 
 Bank& MemoryController::bank_for(BankId id) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,8 +19,13 @@
 #include "dram/bank.hpp"
 #include "dram/config.hpp"
 #include "dram/data_array.hpp"
+#include "dram/observer.hpp"
 #include "dram/types.hpp"
 #include "util/units.hpp"
+
+namespace impact::check {
+class ProtocolChecker;
+}  // namespace impact::check
 
 namespace impact::dram {
 
@@ -57,6 +63,11 @@ class MemoryController {
   MemoryController(DramConfig config,
                    MappingScheme scheme = MappingScheme::kBankInterleaved,
                    bool with_data = false);
+  /// Reconciles BankStats against the observed command stream when the
+  /// auto-attached protocol checker is active (see set_observer).
+  ~MemoryController();
+  MemoryController(MemoryController&&) = delete;
+  MemoryController& operator=(MemoryController&&) = delete;
 
   [[nodiscard]] const DramConfig& config() const { return config_; }
   [[nodiscard]] const AddressMapping& mapping() const { return mapping_; }
@@ -112,6 +123,16 @@ class MemoryController {
   /// Value-level storage; present only when constructed `with_data`.
   [[nodiscard]] DataArray* data() { return data_ ? &*data_ : nullptr; }
 
+  // --- Command-stream observation --------------------------------------
+  /// Attaches `observer` to every bank (nullptr detaches). Replaces the
+  /// auto-attached protocol checker, if any. The controller constructor
+  /// installs a `check::ProtocolChecker` in abort-on-violation mode when
+  /// `ProtocolChecker::env_enabled()` says so (IMPACT_CHECK=1, or a debug
+  /// build with IMPACT_CHECK unset).
+  void set_observer(CommandObserver* observer);
+  /// The auto-attached checker, or nullptr when disabled/replaced.
+  [[nodiscard]] check::ProtocolChecker* checker() { return checker_.get(); }
+
  private:
   Bank& bank_for(BankId id);
   /// Returns true (and counts a fault) if partitioning rejects the access.
@@ -125,6 +146,7 @@ class MemoryController {
   std::vector<ActorId> owners_;
   std::uint64_t partition_faults_ = 0;
   std::optional<DataArray> data_;
+  std::unique_ptr<check::ProtocolChecker> checker_;
 };
 
 }  // namespace impact::dram

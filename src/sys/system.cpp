@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "check/protocol_checker.hpp"
+
 namespace impact::sys {
 
 std::string SystemConfig::describe() const {
@@ -70,6 +72,14 @@ MemorySystem::CpuContext& MemorySystem::context(dram::ActorId actor) {
 
 cache::Hierarchy& MemorySystem::hierarchy(dram::ActorId actor) {
   return context(actor).hierarchy;
+}
+
+void MemorySystem::reconcile_protocol() {
+  check::ProtocolChecker* checker = controller_.checker();
+  if (checker == nullptr) return;
+  for (dram::BankId b = 0; b < controller_.banks(); ++b) {
+    checker->reconcile_stats(b, controller_.bank_stats(b));
+  }
 }
 
 Tlb& MemorySystem::tlb(dram::ActorId actor) { return context(actor).tlb; }

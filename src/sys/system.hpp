@@ -80,6 +80,12 @@ class MemorySystem {
   cache::Hierarchy& hierarchy(dram::ActorId actor);
   Tlb& tlb(dram::ActorId actor);
 
+  /// Mid-run protocol audit: reconciles every bank's BankStats against the
+  /// command stream observed by the auto-attached protocol checker
+  /// (IMPACT_CHECK). No-op when the checker is disabled. In abort mode a
+  /// divergence terminates the process with a bank-level trace.
+  void reconcile_protocol();
+
   /// TLB translation that consults the page size of the backing mapping
   /// (4 KiB vs 2 MiB pages). All access paths use this.
   TlbResult translate(dram::ActorId actor, VAddr vaddr);

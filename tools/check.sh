@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# The repo's one-command correctness gate:
+#
+#   1. clang-tidy over src/ (.clang-tidy profile, warnings-as-errors),
+#   2. an ASan+UBSan build with -Werror of every target,
+#   3. the full ctest suite under the sanitizers with IMPACT_CHECK=1.
+#
+# Exits non-zero if any stage fails and prints a per-stage summary. Stages
+# whose tooling is absent (no clang-tidy on the box) are reported as SKIP
+# without failing the gate, so the script is usable both on dev machines
+# and minimal CI images.
+#
+# Usage: tools/check.sh [build-dir]      (default: build-check)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build-check}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+declare -A STATUS
+FAILED=0
+
+stage() { # name exit_code
+  if [ "$2" -eq 0 ]; then
+    STATUS[$1]="PASS"
+  else
+    STATUS[$1]="FAIL"
+    FAILED=1
+  fi
+}
+
+echo "== impact check: root=${ROOT} build=${BUILD_DIR} jobs=${JOBS}"
+
+# --- Stage 1: clang-tidy ------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compile database from a plain (uninstrumented)
+  # configure; sanitizer flags would be fed to the clang frontend otherwise.
+  TIDY_DIR="${ROOT}/build-tidy"
+  cmake -S "${ROOT}" -B "${TIDY_DIR}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > /dev/null
+  rc=$?
+  if [ $rc -eq 0 ]; then
+    mapfile -t TIDY_SOURCES < <(find "${ROOT}/src" -name '*.cpp' | sort)
+    clang-tidy -p "${TIDY_DIR}" --quiet "${TIDY_SOURCES[@]}"
+    rc=$?
+  fi
+  stage clang-tidy $rc
+else
+  echo "-- clang-tidy not found; skipping static analysis stage"
+  STATUS[clang-tidy]="SKIP (not installed)"
+fi
+
+# --- Stage 2: sanitizer build (ASan+UBSan, -Werror) ---------------------
+cmake -S "${ROOT}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIMPACT_SANITIZE="address;undefined" \
+  -DIMPACT_WERROR=ON \
+  > /dev/null \
+  && cmake --build "${BUILD_DIR}" -j "${JOBS}"
+stage sanitizer-build $?
+
+# --- Stage 3: ctest under the sanitizers --------------------------------
+if [ "${STATUS[sanitizer-build]}" = "PASS" ]; then
+  ( cd "${BUILD_DIR}" \
+    && IMPACT_CHECK=1 \
+       ASAN_OPTIONS=detect_leaks=1 \
+       UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+       ctest --output-on-failure -j "${JOBS}" )
+  stage ctest $?
+else
+  STATUS[ctest]="SKIP (build failed)"
+  FAILED=1
+fi
+
+# --- Summary ------------------------------------------------------------
+echo
+echo "== check summary"
+for s in clang-tidy sanitizer-build ctest; do
+  printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
+done
+exit $FAILED

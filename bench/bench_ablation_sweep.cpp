@@ -4,34 +4,53 @@
 //   (2) signalling bank count — message parallelism for both variants;
 //   (3) DRAM address-mapping scheme — the channels work under any mapping
 //       the attacker can reverse-engineer.
+//
+// Every sweep point builds its own MemorySystem, so the points are
+// independent and fan out over the sweep engine's thread pool; rows are
+// collected in parameter order and printed after the sweep, giving output
+// identical to the old serial loops.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/impact_async.hpp"
 #include "attacks/impact_pnm.hpp"
 #include "attacks/impact_pum.hpp"
+#include "exec/sweep.hpp"
 #include "sys/system.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+using Row = std::vector<std::string>;
+
+}  // namespace
+
 int main() {
   using namespace impact;
+  exec::ThreadPool pool;
   std::printf("=== bench_ablation_sweep: IMPACT design-space ablations "
-              "===\n\n");
+              "(%u worker thread(s)) ===\n\n",
+              pool.size());
 
   {
     std::printf("--- (1) IMPACT-PnM batch size (M bits per semaphore "
                 "turn) ---\n");
     util::Table table({"batch bits", "throughput (Mb/s)", "error rate"});
-    for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u}) {
-      sys::SystemConfig config;
-      sys::MemorySystem system(config);
-      attacks::ImpactPnmConfig attack_config;
-      attack_config.channel.batch_bits = m;
-      attacks::ImpactPnm attack(system, attack_config);
-      const auto r = attack.measure(64, 8, 41);
-      table.add_row({std::to_string(m),
+    const std::vector<std::uint32_t> batches = {1, 2, 4, 8, 16};
+    const auto rows = exec::parallel_map<Row>(
+        &pool, batches.size(), [&](std::size_t i) {
+          sys::SystemConfig config;
+          sys::MemorySystem system(config);
+          attacks::ImpactPnmConfig attack_config;
+          attack_config.channel.batch_bits = batches[i];
+          attacks::ImpactPnm attack(system, attack_config);
+          const auto r = attack.measure(64, 8, 41);
+          return Row{std::to_string(batches[i]),
                      util::Table::num(r.throughput_mbps(config.frequency())),
-                     util::Table::num(100.0 * r.error_rate(), 1) + "%"});
-    }
+                     util::Table::num(100.0 * r.error_rate(), 1) + "%"};
+        });
+    for (const auto& row : rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
   }
 
@@ -39,50 +58,58 @@ int main() {
     std::printf("--- (2) signalling bank count ---\n");
     util::Table table(
         {"banks", "PnM (Mb/s)", "PuM (Mb/s)", "PuM sender (cyc/msg)"});
-    for (const std::uint32_t banks : {4u, 8u, 16u, 32u, 64u}) {
-      sys::SystemConfig config;
-      double pnm_mbps = 0.0;
-      {
-        sys::MemorySystem system(config);
-        attacks::ImpactPnmConfig attack_config;
-        attack_config.channel.banks = banks;
-        attacks::ImpactPnm attack(system, attack_config);
-        pnm_mbps = attack.measure(64, 8, 42).throughput_mbps(
-            config.frequency());
-      }
-      double pum_mbps = 0.0;
-      double pum_sender = 0.0;
-      {
-        sys::MemorySystem system(config);
-        attacks::ImpactPumConfig attack_config;
-        attack_config.banks = banks;
-        attacks::ImpactPum attack(system, attack_config);
-        const auto r = attack.measure(64, 8, 42);
-        pum_mbps = r.throughput_mbps(config.frequency());
-        pum_sender = static_cast<double>(r.sender_cycles) / 8.0;
-      }
-      table.add_row({std::to_string(banks), util::Table::num(pnm_mbps),
+    const std::vector<std::uint32_t> bank_counts = {4, 8, 16, 32, 64};
+    const auto rows = exec::parallel_map<Row>(
+        &pool, bank_counts.size(), [&](std::size_t i) {
+          const std::uint32_t banks = bank_counts[i];
+          sys::SystemConfig config;
+          double pnm_mbps = 0.0;
+          {
+            sys::MemorySystem system(config);
+            attacks::ImpactPnmConfig attack_config;
+            attack_config.channel.banks = banks;
+            attacks::ImpactPnm attack(system, attack_config);
+            pnm_mbps = attack.measure(64, 8, 42).throughput_mbps(
+                config.frequency());
+          }
+          double pum_mbps = 0.0;
+          double pum_sender = 0.0;
+          {
+            sys::MemorySystem system(config);
+            attacks::ImpactPumConfig attack_config;
+            attack_config.banks = banks;
+            attacks::ImpactPum attack(system, attack_config);
+            const auto r = attack.measure(64, 8, 42);
+            pum_mbps = r.throughput_mbps(config.frequency());
+            pum_sender = static_cast<double>(r.sender_cycles) / 8.0;
+          }
+          return Row{std::to_string(banks), util::Table::num(pnm_mbps),
                      util::Table::num(pum_mbps),
-                     util::Table::num(pum_sender, 0)});
-    }
+                     util::Table::num(pum_sender, 0)};
+        });
+    for (const auto& row : rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
   }
 
   {
     std::printf("--- (3) DRAM address-mapping scheme (IMPACT-PnM) ---\n");
     util::Table table({"mapping", "throughput (Mb/s)", "error rate"});
-    for (const auto scheme : {dram::MappingScheme::kBankInterleaved,
-                              dram::MappingScheme::kRowBankCol,
-                              dram::MappingScheme::kXorBankHash}) {
-      sys::SystemConfig config;
-      config.mapping = scheme;
-      sys::MemorySystem system(config);
-      attacks::ImpactPnm attack(system);
-      const auto r = attack.measure(64, 8, 43);
-      table.add_row({to_string(scheme),
+    const std::vector<dram::MappingScheme> schemes = {
+        dram::MappingScheme::kBankInterleaved,
+        dram::MappingScheme::kRowBankCol,
+        dram::MappingScheme::kXorBankHash};
+    const auto rows = exec::parallel_map<Row>(
+        &pool, schemes.size(), [&](std::size_t i) {
+          sys::SystemConfig config;
+          config.mapping = schemes[i];
+          sys::MemorySystem system(config);
+          attacks::ImpactPnm attack(system);
+          const auto r = attack.measure(64, 8, 43);
+          return Row{to_string(schemes[i]),
                      util::Table::num(r.throughput_mbps(config.frequency())),
-                     util::Table::num(100.0 * r.error_rate(), 1) + "%"});
-    }
+                     util::Table::num(100.0 * r.error_rate(), 1) + "%"};
+        });
+    for (const auto& row : rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
     std::printf("The row-buffer channel is mapping-agnostic once the\n"
                 "attacker can co-locate rows (memory massaging handles\n"
@@ -95,47 +122,47 @@ int main() {
     util::Table table({"configuration", "sender busy (cyc/msg)",
                        "throughput (Mb/s)"});
     const auto msg = util::BitVec(16, true);
-    for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
-      sys::SystemConfig config;
-      sys::MemorySystem system(config);
-      attacks::ImpactPnmConfig attack_config;
-      attack_config.channel.sender_threads = threads;
-      attack_config.channel.batch_bits = 16;
-      attacks::ImpactPnm attack(system, attack_config);
-      (void)attack.transmit(msg);
-      const auto r = attack.transmit(msg).report;
-      table.add_row({"PnM, " + std::to_string(threads) + " thread(s)",
-                     util::Table::num(r.sender_cycles, 0),
-                     util::Table::num(r.throughput_mbps(
-                         config.frequency()))});
-    }
-    {
-      sys::SystemConfig config;
-      sys::MemorySystem system(config);
-      attacks::ImpactPum attack(system);
-      (void)attack.transmit(msg);
-      const auto r = attack.transmit(msg).report;
-      table.add_row({"PuM, 1 thread (1 RowClone)",
-                     util::Table::num(r.sender_cycles, 0),
-                     util::Table::num(r.throughput_mbps(
-                         config.frequency()))});
-    }
-    // Parallel probing is where extra attacker cores really pay: the
-    // receiver is the bottleneck of every row-buffer channel.
-    for (const std::uint32_t rt : {2u, 4u}) {
-      sys::SystemConfig config;
-      sys::MemorySystem system(config);
-      attacks::ImpactPnmConfig attack_config;
-      attack_config.channel.batch_bits = 16;
-      attack_config.channel.receiver_threads = rt;
-      attacks::ImpactPnm attack(system, attack_config);
-      (void)attack.transmit(msg);
-      const auto r = attack.transmit(msg).report;
-      table.add_row({"PnM, " + std::to_string(rt) + " receiver threads",
-                     util::Table::num(r.sender_cycles, 0),
-                     util::Table::num(r.throughput_mbps(
-                         config.frequency()))});
-    }
+    // One flat point list covering the three sub-sweeps: sender-thread
+    // scaling, the PuM reference point, and receiver-thread scaling.
+    struct Point {
+      bool pum = false;
+      std::uint32_t sender_threads = 1;
+      std::uint32_t receiver_threads = 1;
+      const char* label = "";
+    };
+    const std::vector<Point> points = {
+        {false, 1, 1, "PnM, 1 thread(s)"},
+        {false, 2, 1, "PnM, 2 thread(s)"},
+        {false, 4, 1, "PnM, 4 thread(s)"},
+        {false, 8, 1, "PnM, 8 thread(s)"},
+        {true, 1, 1, "PuM, 1 thread (1 RowClone)"},
+        {false, 1, 2, "PnM, 2 receiver threads"},
+        {false, 1, 4, "PnM, 4 receiver threads"},
+    };
+    const auto rows = exec::parallel_map<Row>(
+        &pool, points.size(), [&](std::size_t i) {
+          const Point& pt = points[i];
+          sys::SystemConfig config;
+          sys::MemorySystem system(config);
+          channel::ChannelReport report;
+          if (pt.pum) {
+            attacks::ImpactPum attack(system);
+            (void)attack.transmit(msg);
+            report = attack.transmit(msg).report;
+          } else {
+            attacks::ImpactPnmConfig attack_config;
+            attack_config.channel.batch_bits = 16;
+            attack_config.channel.sender_threads = pt.sender_threads;
+            attack_config.channel.receiver_threads = pt.receiver_threads;
+            attacks::ImpactPnm attack(system, attack_config);
+            (void)attack.transmit(msg);
+            report = attack.transmit(msg).report;
+          }
+          return Row{pt.label, util::Table::num(report.sender_cycles, 0),
+                     util::Table::num(report.throughput_mbps(
+                         config.frequency()))};
+        });
+    for (const auto& row : rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
     std::printf("A PnM sender needs several cores' worth of parallel PEI\n"
                 "issue to approach what PuM gets from one masked RowClone\n"
@@ -147,19 +174,21 @@ int main() {
                 "(IMPACT-Async) ---\n");
     util::Table table({"slot (cyc)", "throughput (Mb/s)", "error rate",
                        "receiver overruns"});
-    for (const util::Cycle slot : {140u, 180u, 220u, 260u, 320u, 400u}) {
-      sys::SystemConfig config;
-      sys::MemorySystem system(config);
-      attacks::ImpactAsyncConfig attack_config;
-      attack_config.slot_cycles = slot;
-      attacks::ImpactAsync attack(system, attack_config);
-      const auto r = attack.measure(128, 6, 44);
-      table.add_row(
-          {std::to_string(slot),
-           util::Table::num(r.throughput_mbps(config.frequency())),
-           util::Table::num(100.0 * r.error_rate(), 1) + "%",
-           util::Table::num(100.0 * attack.overrun_rate(), 1) + "%"});
-    }
+    const std::vector<util::Cycle> slots = {140, 180, 220, 260, 320, 400};
+    const auto rows = exec::parallel_map<Row>(
+        &pool, slots.size(), [&](std::size_t i) {
+          sys::SystemConfig config;
+          sys::MemorySystem system(config);
+          attacks::ImpactAsyncConfig attack_config;
+          attack_config.slot_cycles = slots[i];
+          attacks::ImpactAsync attack(system, attack_config);
+          const auto r = attack.measure(128, 6, 44);
+          return Row{std::to_string(slots[i]),
+                     util::Table::num(r.throughput_mbps(config.frequency())),
+                     util::Table::num(100.0 * r.error_rate(), 1) + "%",
+                     util::Table::num(100.0 * attack.overrun_rate(), 1) + "%"};
+        });
+    for (const auto& row : rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
     std::printf("Dropping the semaphore handshake buys rate until the slot\n"
                 "undercuts the probe path and the receiver overruns — the\n"

@@ -5,36 +5,53 @@
 // Paper: CTD costs 26% on average, CRP 15%, with CRP cheap on the
 // workloads that do not benefit from the open-row policy.
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
+#include "exec/sweep.hpp"
 #include "graph/multiprog.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace impact;
+  exec::ThreadPool pool;  // Sized by IMPACT_THREADS / hardware concurrency.
   std::printf("=== bench_fig11: defense overheads (CRP / CTD vs open row) "
               "===\n");
-  std::printf("2 cores, shared RMAT input, hierarchy+input scaled 256x\n\n");
+  std::printf("2 cores, shared RMAT input, hierarchy+input scaled 256x, "
+              "%u worker thread(s)\n\n",
+              pool.size());
 
   graph::MultiprogConfig config;
   util::Table table({"workload", "MPKI", "row-hit rate", "open-row (cyc)",
                      "CRP overhead", "CTD overhead",
                      "adaptive overhead (ext.)"});
+
+  // The whole grid — the three Fig. 11 policies plus the adaptive
+  // extension column — fans out over the pool; cells are schedule-
+  // independent, so the table matches the old serial loop exactly.
+  const auto matrix =
+      graph::evaluate_defense_matrix(config, graph::kAllWorkloads, &pool);
+  const std::vector<graph::RunStats> adaptive_runs =
+      exec::parallel_map<graph::RunStats>(
+          &pool, std::size(graph::kAllWorkloads), [&](std::size_t i) {
+            return graph::run_multiprogrammed(config, graph::kAllWorkloads[i],
+                                              dram::RowPolicy::kAdaptive);
+          });
+
   double crp_sum = 0.0;
   double ctd_sum = 0.0;
   double adp_sum = 0.0;
   int n = 0;
-  for (const auto kind : graph::kAllWorkloads) {
-    const auto r = graph::evaluate_defenses(config, kind);
-    const auto adaptive = graph::run_multiprogrammed(
-        config, kind, dram::RowPolicy::kAdaptive);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const auto& r = matrix[i];
     const double adp_overhead =
-        static_cast<double>(adaptive.cycles) / r.open_row.cycles - 1.0;
+        static_cast<double>(adaptive_runs[i].cycles) / r.open_row.cycles -
+        1.0;
     crp_sum += r.crp_overhead();
     ctd_sum += r.ctd_overhead();
     adp_sum += adp_overhead;
     ++n;
-    table.add_row({to_string(kind), util::Table::num(r.open_row.mpki()),
+    table.add_row({to_string(r.kind), util::Table::num(r.open_row.mpki()),
                    util::Table::num(r.open_row.row_hit_rate),
                    util::Table::num(r.open_row.cycles, 0),
                    util::Table::num(100.0 * r.crp_overhead(), 1) + "%",

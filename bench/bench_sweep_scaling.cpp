@@ -1,0 +1,83 @@
+// Wall-clock scaling of the sweep engine on the Fig. 11 defense matrix:
+// the same grid evaluated serially and through a ThreadPool, with the
+// per-cell results checked bit-for-bit against the serial reference.
+//
+//   $ ./bench_sweep_scaling            # full Fig. 11 scale
+//   $ ./bench_sweep_scaling --smoke    # reduced scale (CI-friendly)
+//   $ IMPACT_THREADS=8 ./bench_sweep_scaling
+//
+// Prints a human-readable summary to stderr and one JSON object to stdout
+// (consumed by tools/bench.sh when assembling BENCH_simulator.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "graph/multiprog.hpp"
+
+namespace {
+
+using namespace impact;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  graph::MultiprogConfig config;
+  if (smoke) {
+    // Same shape, 8x smaller input (and hierarchy, to stay in the
+    // conflict-bound regime) — seconds instead of tens of seconds.
+    config.rmat_scale = 12;
+    config.edge_count = 32768;
+    config.system.cache_scale = 512;
+  }
+
+  exec::ThreadPool pool;
+  std::fprintf(stderr,
+               "bench_sweep_scaling: Fig. 11 matrix (%zu workloads x 3 "
+               "policies), %s scale, pool=%u thread(s), hw=%u core(s)\n",
+               std::size(graph::kAllWorkloads), smoke ? "smoke" : "full",
+               pool.size(), std::thread::hardware_concurrency());
+
+  const auto t_serial = std::chrono::steady_clock::now();
+  const auto serial =
+      graph::evaluate_defense_matrix(config, graph::kAllWorkloads, nullptr);
+  const double serial_s = seconds_since(t_serial);
+
+  const auto t_parallel = std::chrono::steady_clock::now();
+  const auto parallel =
+      graph::evaluate_defense_matrix(config, graph::kAllWorkloads, &pool);
+  const double parallel_s = seconds_since(t_parallel);
+
+  const bool identical = serial == parallel;
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+  std::fprintf(stderr,
+               "serial %.2fs  parallel %.2fs  speedup %.2fx  cells %s\n",
+               serial_s, parallel_s, speedup,
+               identical ? "bit-identical" : "MISMATCH");
+
+  std::printf(
+      "{\"bench\":\"sweep_scaling\",\"smoke\":%s,\"threads\":%u,"
+      "\"hardware_concurrency\":%u,\"serial_seconds\":%.4f,"
+      "\"parallel_seconds\":%.4f,\"speedup\":%.4f,"
+      "\"cells_identical\":%s}\n",
+      smoke ? "true" : "false", pool.size(),
+      std::thread::hardware_concurrency(), serial_s, parallel_s, speedup,
+      identical ? "true" : "false");
+
+  return identical ? 0 : 1;
+}

@@ -2,10 +2,16 @@
 // constant-time policies versus the baseline open-row policy on
 // multiprogrammed graph workloads.
 //
+// The (workload, policy) grid is embarrassingly parallel; the sweep engine
+// fans it out over IMPACT_THREADS workers (default: hardware concurrency)
+// with bit-identical results to a serial run.
+//
 //   $ ./defense_tradeoffs
+//   $ IMPACT_THREADS=4 ./defense_tradeoffs
 #include <cstdio>
 #include <vector>
 
+#include "exec/sweep.hpp"
 #include "graph/multiprog.hpp"
 #include "util/table.hpp"
 
@@ -13,16 +19,17 @@ int main() {
   using namespace impact;
 
   graph::MultiprogConfig config;  // Scaled Fig. 11 configuration.
+  exec::ThreadPool pool;
 
   util::Table table({"workload", "MPKI", "row-hit-rate", "CRP overhead",
                      "CTD overhead"});
   std::vector<double> crp;
   std::vector<double> ctd;
-  for (const auto kind : graph::kAllWorkloads) {
-    const auto r = graph::evaluate_defenses(config, kind);
+  for (const auto& r :
+       graph::evaluate_defense_matrix(config, graph::kAllWorkloads, &pool)) {
     crp.push_back(r.crp_overhead());
     ctd.push_back(r.ctd_overhead());
-    table.add_row({to_string(kind), util::Table::num(r.open_row.mpki()),
+    table.add_row({to_string(r.kind), util::Table::num(r.open_row.mpki()),
                    util::Table::num(r.open_row.row_hit_rate),
                    util::Table::num(100.0 * r.crp_overhead(), 1) + "%",
                    util::Table::num(100.0 * r.ctd_overhead(), 1) + "%"});

@@ -82,6 +82,9 @@ channel::TransmissionResult ImpactPum::transmit(
   const util::Cycle sender_start = sender_clock_;
   const util::Cycle receiver_start = receiver_clock_;
   const auto& ts = system_->timestamp();
+  // One result object for every clone in the message: execute_into reuses
+  // its legs buffer, keeping the per-bit probe loop allocation-free.
+  dram::RowCloneResult clone_scratch;
 
   // Each turn moves up to `banks` bits with one masked RowClone.
   for (std::size_t base = 0; base < message.size();
@@ -100,11 +103,11 @@ channel::TransmissionResult ImpactPum::transmit(
     sender_clock_ += config_.mask_setup_cost;
     util::Cycle clone_done = sender_clock_;
     if (mask != 0) {
-      const auto clone = sender_unit_.execute(
+      sender_unit_.execute_into(
           pim::RowCloneRequest{sender_src_span_.vaddr,
                                sender_dst_span_.vaddr, mask},
-          sender_clock_, /*atomic=*/true);
-      clone_done = clone.completion;
+          sender_clock_, /*atomic=*/true, clone_scratch);
+      clone_done = clone_scratch.completion;
     }
 
     // barrier_2: releases at the sender's (non-blocking) retirement; the
@@ -119,10 +122,10 @@ channel::TransmissionResult ImpactPum::transmit(
       const std::uint32_t bank = static_cast<std::uint32_t>(i - base);
       receiver_clock_ += config_.mask_setup_cost;
       const util::Cycle t0 = ts.read(receiver_clock_);
-      (void)receiver_unit_.execute(
+      receiver_unit_.execute_into(
           pim::RowCloneRequest{receiver_span_.vaddr, receiver_span_.vaddr,
                                1ull << bank},
-          receiver_clock_, /*atomic=*/false);
+          receiver_clock_, /*atomic=*/false, clone_scratch);
       const util::Cycle t1 = ts.read_fast(receiver_clock_);
       const double latency = static_cast<double>(t1 - t0);
       last_latencies_[i] = latency;

@@ -92,9 +92,10 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
     return r;
   }
 
-  std::vector<LineAddr> l1_prefetches;
+  std::vector<LineAddr>& l1_prefetches = l1_pf_scratch_;
+  l1_prefetches.clear();
   if (config_.enable_prefetchers) {
-    l1_prefetches = ip_stride_.observe(pc, line);
+    ip_stride_.observe_into(pc, line, l1_prefetches);
   }
 
   r.latency += config_.l2.latency;
@@ -107,9 +108,10 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
     return r;
   }
 
-  std::vector<LineAddr> l2_prefetches;
+  std::vector<LineAddr>& l2_prefetches = l2_pf_scratch_;
+  l2_prefetches.clear();
   if (config_.enable_prefetchers) {
-    l2_prefetches = streamer_.observe(pc, line);
+    streamer_.observe_into(pc, line, l2_prefetches);
   }
 
   r.latency += config_.l3.latency;

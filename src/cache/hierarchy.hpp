@@ -139,6 +139,11 @@ class Hierarchy {
   IpStridePrefetcher ip_stride_;
   StreamerPrefetcher streamer_;
   std::uint64_t prefetch_fills_ = 0;
+  /// Prefetch-candidate scratch, reused across accesses so the (very hot)
+  /// miss path does not allocate. `access` is not reentrant, so one buffer
+  /// per prefetcher suffices.
+  std::vector<LineAddr> l1_pf_scratch_;
+  std::vector<LineAddr> l2_pf_scratch_;
 
  public:
   [[nodiscard]] std::uint64_t prefetch_fills() const {

@@ -8,10 +8,9 @@ IpStridePrefetcher::IpStridePrefetcher(std::uint32_t entries,
                                        std::uint32_t degree)
     : degree_(degree), table_(entries) {}
 
-std::vector<LineAddr> IpStridePrefetcher::observe(std::uint64_t pc,
-                                                  LineAddr line) {
+void IpStridePrefetcher::observe_into(std::uint64_t pc, LineAddr line,
+                                      std::vector<LineAddr>& out) {
   Entry& e = table_[pc % table_.size()];
-  std::vector<LineAddr> out;
   if (e.valid && e.pc == pc) {
     const std::int64_t stride =
         static_cast<std::int64_t>(line) - static_cast<std::int64_t>(e.last_line);
@@ -35,18 +34,16 @@ std::vector<LineAddr> IpStridePrefetcher::observe(std::uint64_t pc,
   } else {
     e = Entry{true, pc, line, 0, 0};
   }
-  return out;
 }
 
 StreamerPrefetcher::StreamerPrefetcher(std::uint32_t streams,
                                        std::uint32_t degree)
     : degree_(degree), streams_(streams) {}
 
-std::vector<LineAddr> StreamerPrefetcher::observe(std::uint64_t /*pc*/,
-                                                  LineAddr line) {
+void StreamerPrefetcher::observe_into(std::uint64_t /*pc*/, LineAddr line,
+                                      std::vector<LineAddr>& out) {
   ++tick_;
   const std::uint64_t region = line >> kRegionShift;
-  std::vector<LineAddr> out;
 
   // Find a tracking stream for this region.
   Stream* found = nullptr;
@@ -67,7 +64,7 @@ std::vector<LineAddr> StreamerPrefetcher::observe(std::uint64_t /*pc*/,
       if (s.lru < victim->lru) victim = &s;
     }
     *victim = Stream{true, region, line, 0, 0, tick_};
-    return out;
+    return;
   }
 
   found->lru = tick_;
@@ -95,7 +92,6 @@ std::vector<LineAddr> StreamerPrefetcher::observe(std::uint64_t /*pc*/,
       }
     }
   }
-  return out;
 }
 
 }  // namespace impact::cache

@@ -19,8 +19,19 @@ class Prefetcher {
   virtual ~Prefetcher() = default;
 
   /// `pc` is the (simulated) instruction address of the load/store.
-  /// Returns line addresses to prefetch.
-  virtual std::vector<LineAddr> observe(std::uint64_t pc, LineAddr line) = 0;
+  /// Appends line addresses to prefetch onto `out` (which is not cleared:
+  /// the caller owns the buffer's lifecycle, so hot paths reuse one scratch
+  /// vector across millions of accesses instead of allocating per call).
+  virtual void observe_into(std::uint64_t pc, LineAddr line,
+                            std::vector<LineAddr>& out) = 0;
+
+  /// Convenience (tests, cold paths): allocating wrapper.
+  [[nodiscard]] std::vector<LineAddr> observe(std::uint64_t pc,
+                                              LineAddr line) {
+    std::vector<LineAddr> out;
+    observe_into(pc, line, out);
+    return out;
+  }
 };
 
 /// Classic per-PC stride predictor (Fu & Patel, MICRO'92).
@@ -29,7 +40,9 @@ class IpStridePrefetcher final : public Prefetcher {
   explicit IpStridePrefetcher(std::uint32_t entries = 64,
                               std::uint32_t degree = 2);
 
-  std::vector<LineAddr> observe(std::uint64_t pc, LineAddr line) override;
+  void observe_into(std::uint64_t pc, LineAddr line,
+                    std::vector<LineAddr>& out) override;
+  using Prefetcher::observe;
 
  private:
   struct Entry {
@@ -50,7 +63,9 @@ class StreamerPrefetcher final : public Prefetcher {
   explicit StreamerPrefetcher(std::uint32_t streams = 16,
                               std::uint32_t degree = 2);
 
-  std::vector<LineAddr> observe(std::uint64_t pc, LineAddr line) override;
+  void observe_into(std::uint64_t pc, LineAddr line,
+                    std::vector<LineAddr>& out) override;
+  using Prefetcher::observe;
 
  private:
   struct Stream {

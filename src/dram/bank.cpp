@@ -206,9 +206,9 @@ void Bank::precharge(util::Cycle now) {
   }
 }
 
-void Bank::notify(CommandKind kind, RowId row, RowId src, util::Cycle issue,
-                  const BankAccessResult& r, RowBufferOutcome true_outcome) {
-  if (observer_ == nullptr) return;
+void Bank::notify_observer(CommandKind kind, RowId row, RowId src,
+                           util::Cycle issue, const BankAccessResult& r,
+                           RowBufferOutcome true_outcome) {
   CommandRecord rec;
   rec.kind = kind;
   rec.bank = id_;

@@ -45,17 +45,6 @@ void MemoryController::set_observer(CommandObserver* observer) {
   }
 }
 
-Bank& MemoryController::bank_for(BankId id) {
-  util::check(id < banks_.size(), "MemoryController: bank out of range");
-  return banks_[id];
-}
-
-bool MemoryController::partition_rejects(BankId bank, ActorId actor) {
-  if (can_access(bank, actor)) return false;
-  ++partition_faults_;
-  return true;
-}
-
 AccessResult MemoryController::access(PhysAddr addr, util::Cycle now,
                                       ActorId actor) {
   const DramAddress loc = mapping_.decode(addr);
@@ -78,9 +67,9 @@ AccessResult MemoryController::access_row(BankId bank, RowId row,
   return out;
 }
 
-RowCloneResult MemoryController::rowclone(std::span<const RowCloneLeg> legs,
-                                          util::Cycle now, bool atomic,
-                                          ActorId actor) {
+void MemoryController::rowclone_into(std::span<const RowCloneLeg> legs,
+                                     util::Cycle now, bool atomic,
+                                     ActorId actor, RowCloneResult& out) {
   util::check(!legs.empty(), "MemoryController::rowclone: no legs");
   for (const auto& leg : legs) {
     util::check(!partition_rejects(leg.bank, actor),
@@ -91,7 +80,7 @@ RowCloneResult MemoryController::rowclone(std::span<const RowCloneLeg> legs,
   }
   const util::Cycle issued = now;
   const util::Cycle at_bank = now + issue_overhead_;
-  RowCloneResult out;
+  out.legs.clear();
   out.legs.reserve(legs.size());
   util::Cycle max_completion = 0;
   util::Cycle max_ack = 0;
@@ -117,7 +106,6 @@ RowCloneResult MemoryController::rowclone(std::span<const RowCloneLeg> legs,
     // bank until every leg of this RowClone has completed.
     for (auto& b : banks_) b.stall_until(max_completion);
   }
-  return out;
 }
 
 std::optional<RowId> MemoryController::open_row(BankId bank, util::Cycle now) {
@@ -137,6 +125,13 @@ void MemoryController::set_partition_owner(BankId bank, ActorId owner) {
   util::check(bank < owners_.size(),
               "MemoryController::set_partition_owner: bank out of range");
   owners_[bank] = owner;
+  partitioned_ = false;
+  for (const ActorId o : owners_) {
+    if (o != kAnyActor) {
+      partitioned_ = true;
+      break;
+    }
+  }
 }
 
 bool MemoryController::can_access(BankId bank, ActorId actor) const {

@@ -90,7 +90,17 @@ class MemoryController {
   /// When `atomic` is true (the paper's §5.1 threat-model guarantee) no
   /// other DRAM command may start on *any* bank until all legs complete.
   RowCloneResult rowclone(std::span<const RowCloneLeg> legs, util::Cycle now,
-                          bool atomic = true, ActorId actor = kAnyActor);
+                          bool atomic = true, ActorId actor = kAnyActor) {
+    RowCloneResult out;
+    rowclone_into(legs, now, atomic, actor, out);
+    return out;
+  }
+
+  /// Allocation-free variant for hot channel loops (one RowClone per
+  /// transmitted chunk): clears and refills `out`, reusing `out.legs`'
+  /// capacity across calls.
+  void rowclone_into(std::span<const RowCloneLeg> legs, util::Cycle now,
+                     bool atomic, ActorId actor, RowCloneResult& out);
 
   /// Row currently open in `bank` as of `now` (nullopt if precharged).
   [[nodiscard]] std::optional<RowId> open_row(BankId bank, util::Cycle now);
@@ -134,9 +144,21 @@ class MemoryController {
   [[nodiscard]] check::ProtocolChecker* checker() { return checker_.get(); }
 
  private:
-  Bank& bank_for(BankId id);
+  /// Flat bank lookup on the per-access path: one range check (no message
+  /// materialization on success) and a direct index.
+  Bank& bank_for(BankId id) {
+    util::check(id < banks_.size(), "MemoryController: bank out of range");
+    return banks_[id];
+  }
   /// Returns true (and counts a fault) if partitioning rejects the access.
-  bool partition_rejects(BankId bank, ActorId actor);
+  /// The unpartitioned configuration (every bench and covert-channel run)
+  /// short-circuits before touching the owner table.
+  bool partition_rejects(BankId bank, ActorId actor) {
+    if (!partitioned_) return false;
+    if (can_access(bank, actor)) return false;
+    ++partition_faults_;
+    return true;
+  }
 
   DramConfig config_;
   AddressMapping mapping_;
@@ -144,6 +166,7 @@ class MemoryController {
   util::Cycle issue_overhead_ = 4;
   std::vector<Bank> banks_;
   std::vector<ActorId> owners_;
+  bool partitioned_ = false;  ///< Any bank currently has an exclusive owner.
   std::uint64_t partition_faults_ = 0;
   std::optional<DataArray> data_;
   std::unique_ptr<check::ProtocolChecker> checker_;

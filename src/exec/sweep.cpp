@@ -1,0 +1,117 @@
+#include "exec/sweep.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace impact::exec {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index) {
+  // Golden-ratio spacing keeps distinct indices distinct before the
+  // splitmix64 avalanche inside Xoshiro256's reseed scrambles them.
+  util::Xoshiro256 rng(base_seed ^
+                       (0x9E3779B97F4A7C15ull * (task_index + 1)));
+  return rng();
+}
+
+Sweep::TaskId Sweep::add(std::string label, std::function<void()> fn,
+                         std::initializer_list<TaskId> deps) {
+  const TaskId id = tasks_.size();
+  for (const TaskId d : deps) {
+    util::check(d < id, "Sweep::add: dependency on a not-yet-added task");
+  }
+  tasks_.push_back(Task{std::move(label), std::move(fn),
+                        std::vector<TaskId>(deps)});
+  return id;
+}
+
+void Sweep::run() {
+  if (tasks_.empty()) return;
+
+  if (pool_ == nullptr || pool_->size() <= 1) {
+    // Insertion order is topological by construction.
+    std::exception_ptr first;
+    std::vector<bool> failed(tasks_.size(), false);
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      bool skip = first != nullptr;
+      for (const TaskId d : tasks_[id].deps) skip = skip || failed[d];
+      if (skip) {
+        failed[id] = true;
+        continue;
+      }
+      try {
+        tasks_[id].fn();
+      } catch (...) {
+        failed[id] = true;
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  // Parallel execution: scheduler state shared between the submitting
+  // thread and the workers, all guarded by one mutex (tasks are coarse).
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<std::size_t> unmet;        // Unfinished dependency count.
+    std::vector<std::vector<TaskId>> dependents;
+    std::size_t remaining = 0;             // Tasks not yet finished/skipped.
+    std::exception_ptr first_error;
+  } state;
+
+  state.unmet.assign(tasks_.size(), 0);
+  state.dependents.assign(tasks_.size(), {});
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    state.unmet[id] = tasks_[id].deps.size();
+    for (const TaskId d : tasks_[id].deps) {
+      state.dependents[d].push_back(id);
+    }
+  }
+  state.remaining = tasks_.size();
+
+  // Runs `id`, then retires it and launches newly-ready dependents.
+  std::function<void(TaskId)> execute = [&](TaskId id) {
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      cancelled = state.first_error != nullptr;
+    }
+    if (!cancelled) {
+      try {
+        tasks_[id].fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.first_error) state.first_error = std::current_exception();
+      }
+    }
+    std::vector<TaskId> ready;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      for (const TaskId dep : state.dependents[id]) {
+        if (--state.unmet[dep] == 0) ready.push_back(dep);
+      }
+      if (--state.remaining == 0) state.done_cv.notify_all();
+    }
+    for (const TaskId r : ready) {
+      (void)pool_->submit([&execute, r] { execute(r); });
+    }
+  };
+
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].deps.empty()) {
+      (void)pool_->submit([&execute, id] { execute(id); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&] { return state.remaining == 0; });
+    if (state.first_error) std::rethrow_exception(state.first_error);
+  }
+}
+
+}  // namespace impact::exec

@@ -1,0 +1,79 @@
+// Sweep orchestration: a small dependency-aware task graph over ThreadPool.
+//
+// A Sweep models one experiment grid (a paper figure, an ablation table):
+// tasks are added in construction order, may depend on earlier tasks (e.g.
+// per-workload trace construction feeding the per-policy runs that replay
+// it), and run either serially (no pool) or across a pool. Because every
+// task writes only its own output cell and reads only its dependencies'
+// outputs, the results are bit-identical regardless of pool size — the
+// property the determinism tests (tests/test_exec.cpp) pin.
+//
+// Seeding: tasks that need randomness must not share an RNG (the draw
+// order would then depend on the schedule). `derive_seed` gives each task
+// index its own statistically-independent seed from one base seed,
+// deterministically, so a parallel sweep reproduces the serial one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace impact::exec {
+
+/// Seed for task `task_index` of a sweep seeded with `base_seed`.
+/// Implemented on util::Xoshiro256 (whose splitmix64 reseed provides the
+/// avalanche); distinct indices yield decorrelated streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::uint64_t task_index);
+
+class Sweep {
+ public:
+  using TaskId = std::size_t;
+
+  /// `pool == nullptr` runs the sweep serially in insertion order.
+  explicit Sweep(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Adds a task; `deps` must name tasks added earlier (insertion order is
+  /// therefore always a valid topological order). Returns the task's id.
+  TaskId add(std::string label, std::function<void()> fn,
+             std::initializer_list<TaskId> deps = {});
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+
+  /// Executes the graph. Parallel mode starts every task whose
+  /// dependencies completed; serial mode runs insertion order. The first
+  /// task exception is rethrown after all started tasks finish; tasks not
+  /// yet started when an error surfaces are skipped (their dependents too).
+  void run();
+
+ private:
+  struct Task {
+    std::string label;
+    std::function<void()> fn;
+    std::vector<TaskId> deps;
+  };
+
+  ThreadPool* pool_;
+  std::vector<Task> tasks_;
+};
+
+/// Maps i -> fn(i) for i in [0, n) into an index-ordered vector, using the
+/// pool when it helps. The per-index results must be independent; output
+/// order (and content) never depends on the schedule.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+  } else {
+    pool->for_each_index(n, [&](std::size_t i) { out[i] = fn(i); });
+  }
+  return out;
+}
+
+}  // namespace impact::exec

@@ -77,18 +77,28 @@ void replay_op(sys::MemorySystem& system, dram::ActorId actor,
 
 }  // namespace
 
+WorkloadInput build_input(const MultiprogConfig& config, WorkloadKind kind) {
+  util::Xoshiro256 rng(config.graph_seed);
+  WorkloadInput input;
+  input.graph = CsrGraph::rmat(config.rmat_scale, config.edge_count, rng);
+  input.trace = build_trace(kind, input.graph);
+  util::check(!input.trace.ops.empty(), "build_input: empty trace");
+  return input;
+}
+
 RunStats run_multiprogrammed(const MultiprogConfig& config,
-                             WorkloadKind kind, dram::RowPolicy policy) {
-  // Fresh system per run: Fig. 11 is a 2-core configuration.
+                             const WorkloadInput& input,
+                             dram::RowPolicy policy) {
+  // Fresh system per run: Fig. 11 is a 2-core configuration. Constructing
+  // it here (not sharing across cells) is what makes concurrent cells of a
+  // sweep independent — and therefore schedule-invariant.
   sys::SystemConfig sys_config = config.system;
   sys_config.cores = 2;
   sys_config.dram.policy = policy;
   sys::MemorySystem system(sys_config);
 
-  util::Xoshiro256 rng(config.graph_seed);
-  const CsrGraph graph =
-      CsrGraph::rmat(config.rmat_scale, config.edge_count, rng);
-  const WorkloadTrace trace = build_trace(kind, graph);
+  const CsrGraph& graph = input.graph;
+  const WorkloadTrace& trace = input.trace;
   util::check(!trace.ops.empty(), "run_multiprogrammed: empty trace");
 
   const ArrayMap map_a =
@@ -127,15 +137,66 @@ RunStats run_multiprogrammed(const MultiprogConfig& config,
   return stats;
 }
 
+RunStats run_multiprogrammed(const MultiprogConfig& config,
+                             WorkloadKind kind, dram::RowPolicy policy) {
+  return run_multiprogrammed(config, build_input(config, kind), policy);
+}
+
 DefenseOverheads evaluate_defenses(const MultiprogConfig& config,
-                                   WorkloadKind kind) {
+                                   WorkloadKind kind,
+                                   exec::ThreadPool* pool) {
+  const WorkloadInput input = build_input(config, kind);
   DefenseOverheads out;
   out.kind = kind;
-  out.open_row = run_multiprogrammed(config, kind, dram::RowPolicy::kOpenRow);
-  out.closed_row =
-      run_multiprogrammed(config, kind, dram::RowPolicy::kClosedRow);
-  out.constant_time =
-      run_multiprogrammed(config, kind, dram::RowPolicy::kConstantTime);
+
+  constexpr dram::RowPolicy kPolicies[] = {dram::RowPolicy::kOpenRow,
+                                           dram::RowPolicy::kClosedRow,
+                                           dram::RowPolicy::kConstantTime};
+  RunStats DefenseOverheads::* const kSlots[] = {
+      &DefenseOverheads::open_row, &DefenseOverheads::closed_row,
+      &DefenseOverheads::constant_time};
+  const std::vector<RunStats> cells = exec::parallel_map<RunStats>(
+      pool, 3, [&](std::size_t i) {
+        return run_multiprogrammed(config, input, kPolicies[i]);
+      });
+  for (std::size_t i = 0; i < 3; ++i) out.*kSlots[i] = cells[i];
+  return out;
+}
+
+std::vector<DefenseOverheads> evaluate_defense_matrix(
+    const MultiprogConfig& config, std::span<const WorkloadKind> kinds,
+    exec::ThreadPool* pool) {
+  std::vector<DefenseOverheads> out(kinds.size());
+  std::vector<WorkloadInput> inputs(kinds.size());
+
+  constexpr dram::RowPolicy kPolicies[] = {dram::RowPolicy::kOpenRow,
+                                           dram::RowPolicy::kClosedRow,
+                                           dram::RowPolicy::kConstantTime};
+  RunStats DefenseOverheads::* const kSlots[] = {
+      &DefenseOverheads::open_row, &DefenseOverheads::closed_row,
+      &DefenseOverheads::constant_time};
+
+  // Task graph: each workload's input build feeds its three policy cells,
+  // so cheap cells of one workload overlap the build of the next.
+  exec::Sweep sweep(pool);
+  for (std::size_t w = 0; w < kinds.size(); ++w) {
+    out[w].kind = kinds[w];
+    const exec::Sweep::TaskId build = sweep.add(
+        "input:" + std::string(to_string(kinds[w])),
+        // Sweep::run() returns before the enclosing scope unwinds, so
+        // reference captures of the local grids are safe.
+        [&, w] { inputs[w] = build_input(config, kinds[w]); });
+    for (std::size_t p = 0; p < 3; ++p) {
+      sweep.add("run:" + std::string(to_string(kinds[w])) + ":" +
+                    to_string(kPolicies[p]),
+                [&, w, p] {
+                  out[w].*kSlots[p] =
+                      run_multiprogrammed(config, inputs[w], kPolicies[p]);
+                },
+                {build});
+    }
+  }
+  sweep.run();
   return out;
 }
 

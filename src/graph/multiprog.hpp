@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "dram/config.hpp"
+#include "exec/sweep.hpp"
 #include "graph/graph.hpp"
 #include "graph/workload.hpp"
 #include "sys/system.hpp"
@@ -47,6 +49,10 @@ struct RunStats {
                              : 1000.0 * static_cast<double>(llc_misses) /
                                    static_cast<double>(instructions);
   }
+
+  /// Exact (bitwise for row_hit_rate) equality: the determinism tests pin
+  /// parallel sweeps to the serial results with no tolerance.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 /// One Fig. 11 bar group: a workload's overheads relative to open-row.
@@ -56,25 +62,65 @@ struct DefenseOverheads {
   RunStats closed_row;
   RunStats constant_time;
 
+  /// Baseline-relative overheads; 0 when the baseline has not run (or ran
+  /// an empty trace), so a partially-filled matrix cell never divides by
+  /// zero.
   [[nodiscard]] double crp_overhead() const {
-    return static_cast<double>(closed_row.cycles) /
-               static_cast<double>(open_row.cycles) -
-           1.0;
+    return open_row.cycles == 0
+               ? 0.0
+               : static_cast<double>(closed_row.cycles) /
+                         static_cast<double>(open_row.cycles) -
+                     1.0;
   }
   [[nodiscard]] double ctd_overhead() const {
-    return static_cast<double>(constant_time.cycles) /
-               static_cast<double>(open_row.cycles) -
-           1.0;
+    return open_row.cycles == 0
+               ? 0.0
+               : static_cast<double>(constant_time.cycles) /
+                         static_cast<double>(open_row.cycles) -
+                     1.0;
   }
+
+  friend bool operator==(const DefenseOverheads&,
+                         const DefenseOverheads&) = default;
 };
 
-/// Runs two co-scheduled instances of `kind` under `policy`.
+/// The shared input of one Fig. 11 bar group: the RMAT graph and the
+/// workload trace both co-scheduled instances replay. Building it is a
+/// significant fraction of a run, so the sweep engine builds it once per
+/// workload and shares it (read-only) across the per-policy cells.
+struct WorkloadInput {
+  CsrGraph graph;
+  WorkloadTrace trace;
+};
+
+/// Deterministically builds the shared input for `kind` (config seed).
+[[nodiscard]] WorkloadInput build_input(const MultiprogConfig& config,
+                                        WorkloadKind kind);
+
+/// Runs two co-scheduled instances replaying `input` under `policy`.
+[[nodiscard]] RunStats run_multiprogrammed(const MultiprogConfig& config,
+                                           const WorkloadInput& input,
+                                           dram::RowPolicy policy);
+
+/// Convenience: builds the input, then runs. Bit-identical to the
+/// two-step form (the input build is deterministic in the config seed).
 [[nodiscard]] RunStats run_multiprogrammed(const MultiprogConfig& config,
                                            WorkloadKind kind,
                                            dram::RowPolicy policy);
 
-/// Runs the full Fig. 11 matrix for one workload (all three policies).
+/// Runs the full Fig. 11 matrix for one workload (all three policies),
+/// fanning the per-policy cells out over `pool` when provided. Results are
+/// bit-identical to the serial path for any pool size.
 [[nodiscard]] DefenseOverheads evaluate_defenses(
-    const MultiprogConfig& config, WorkloadKind kind);
+    const MultiprogConfig& config, WorkloadKind kind,
+    exec::ThreadPool* pool = nullptr);
+
+/// The whole Fig. 11 grid: one input-build task per workload feeding three
+/// per-policy run tasks, scheduled as a Sweep task graph over `pool`
+/// (serial in insertion order when `pool` is null). Output order follows
+/// `kinds`; cell values are schedule-independent.
+[[nodiscard]] std::vector<DefenseOverheads> evaluate_defense_matrix(
+    const MultiprogConfig& config, std::span<const WorkloadKind> kinds,
+    exec::ThreadPool* pool = nullptr);
 
 }  // namespace impact::graph

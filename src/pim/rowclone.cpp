@@ -8,14 +8,16 @@ RowCloneUnit::RowCloneUnit(RowCloneConfig config, sys::MemorySystem& system,
                            dram::ActorId actor)
     : config_(config), system_(&system), actor_(actor) {}
 
-dram::RowCloneResult RowCloneUnit::execute(const RowCloneRequest& request,
-                                           util::Cycle& clock, bool atomic) {
+void RowCloneUnit::execute_into(const RowCloneRequest& request,
+                                util::Cycle& clock, bool atomic,
+                                dram::RowCloneResult& out) {
   util::check(request.mask != 0, "RowCloneUnit: empty bank mask");
   auto& vmem = system_->vmem();
   const auto& mapping = system_->controller().mapping();
   const std::uint64_t row_bytes = mapping.row_bytes();
 
-  std::vector<dram::RowCloneLeg> legs;
+  std::vector<dram::RowCloneLeg>& legs = legs_scratch_;
+  legs.clear();
   for (std::uint32_t k = 0; k < 64; ++k) {
     if (((request.mask >> k) & 1ull) == 0) continue;
     const sys::VAddr src_chunk = request.src + k * row_bytes;
@@ -32,16 +34,14 @@ dram::RowCloneResult RowCloneUnit::execute(const RowCloneRequest& request,
   }
   util::check(!legs.empty(), "RowCloneUnit: mask selects no mapped chunk");
 
-  auto result = system_->controller().rowclone(
-      legs, clock + config_.issue_latency, atomic, actor_);
+  system_->controller().rowclone_into(legs, clock + config_.issue_latency,
+                                      atomic, actor_, out);
   const util::Cycle core_wait =
-      config_.blocking ? result.latency : result.ack_latency;
+      config_.blocking ? out.latency : out.ack_latency;
   // `latency` reports what the issuing core observed (and what a timing
   // attacker can measure); `completion` still records when the copy is done.
-  result.latency =
-      core_wait + config_.issue_latency + config_.response_latency;
-  clock += result.latency;
-  return result;
+  out.latency = core_wait + config_.issue_latency + config_.response_latency;
+  clock += out.latency;
 }
 
 }  // namespace impact::pim

@@ -44,7 +44,17 @@ class RowCloneUnit {
   /// chunks: chunk k of each range must translate to the same bank (which
   /// `VirtualMemory::map_row_span` guarantees).
   dram::RowCloneResult execute(const RowCloneRequest& request,
-                               util::Cycle& clock, bool atomic = true);
+                               util::Cycle& clock, bool atomic = true) {
+    dram::RowCloneResult out;
+    execute_into(request, clock, atomic, out);
+    return out;
+  }
+
+  /// Allocation-free variant: refills `out` (reusing its legs capacity).
+  /// The PuM covert channel issues one clone per probe, so its inner loop
+  /// keeps one result object alive across the whole message.
+  void execute_into(const RowCloneRequest& request, util::Cycle& clock,
+                    bool atomic, dram::RowCloneResult& out);
 
   /// Bulk initialization: clones a source row over the destination in every
   /// bank of `mask` (RowClone-based memset, §4.2 Step 1).
@@ -57,6 +67,7 @@ class RowCloneUnit {
   RowCloneConfig config_;
   sys::MemorySystem* system_;
   dram::ActorId actor_;
+  std::vector<dram::RowCloneLeg> legs_scratch_;  ///< Reused across calls.
 };
 
 }  // namespace impact::pim

@@ -15,6 +15,18 @@ namespace impact::util {
 
 /// Throwing variant used by library code whose callers can recover (and by
 /// tests, which assert on the exception).
+///
+/// The `const char*` overload is the hot-path form: the message is only
+/// materialized into an exception on failure, so a passing check costs a
+/// branch — no std::string construction per call. (The std::string
+/// overload used to make every call site heap-allocate its literal; the
+/// simulator issues several checks per simulated memory access, which made
+/// that allocation one of the hottest lines in the whole profile.)
+inline void check(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// For call sites that build a dynamic message.
 inline void check(bool condition, const std::string& message) {
   if (!condition) throw std::invalid_argument(message);
 }

@@ -1,0 +1,176 @@
+// Tests of the parallel experiment engine (src/exec/): thread-pool
+// behaviour (exception propagation, degenerate batches), seed derivation,
+// sweep dependency ordering, and — most importantly — the determinism
+// contract: parallel sweeps must be byte-identical to serial ones for any
+// pool size. Run under IMPACT_SANITIZE=thread by tools/check.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/multiprog.hpp"
+
+namespace impact {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  exec::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  exec::ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexOnce) {
+  exec::ThreadPool pool(4);
+  constexpr std::size_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_each_index(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ForEachIndexPropagatesFirstException) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.for_each_index(16,
+                          [&](std::size_t i) {
+                            if (i == 5) throw std::invalid_argument("boom");
+                            ++completed;
+                          }),
+      std::invalid_argument);
+  // Batch members are independent: the other 15 indices still ran.
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  exec::ThreadPool pool(2);
+  pool.for_each_index(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, OversizedBatchDoesNotDeadlock) {
+  // Far more tasks than workers: everything must drain.
+  exec::ThreadPool pool(2);
+  constexpr std::size_t kN = 2000;
+  std::atomic<std::size_t> done{0};
+  pool.for_each_index(kN, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), kN);
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletes) {
+  exec::ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.for_each_index(10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(exec::derive_seed(42, 0), exec::derive_seed(42, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(exec::derive_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // No collisions across task indices.
+  // Different base seeds give different streams.
+  EXPECT_NE(exec::derive_seed(42, 7), exec::derive_seed(43, 7));
+}
+
+TEST(Sweep, SerialRunsInInsertionOrder) {
+  exec::Sweep sweep(nullptr);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sweep.add("t" + std::to_string(i), [&order, i] { order.push_back(i); });
+  }
+  sweep.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sweep, DependenciesRunBeforeDependents) {
+  exec::ThreadPool pool(4);
+  exec::Sweep sweep(&pool);
+  std::atomic<bool> built{false};
+  std::atomic<int> violations{0};
+  const auto build = sweep.add("build", [&built] { built = true; });
+  for (int i = 0; i < 8; ++i) {
+    sweep.add("use" + std::to_string(i),
+              [&built, &violations] {
+                if (!built) ++violations;
+              },
+              {build});
+  }
+  sweep.run();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Sweep, RejectsForwardDependencies) {
+  exec::Sweep sweep(nullptr);
+  const auto t0 = sweep.add("a", [] {});
+  EXPECT_THROW(sweep.add("b", [] {}, {t0 + 1}), std::invalid_argument);
+}
+
+TEST(Sweep, ErrorSkipsDependentsAndRethrows) {
+  exec::ThreadPool pool(2);
+  exec::Sweep sweep(&pool);
+  std::atomic<bool> dependent_ran{false};
+  const auto bad =
+      sweep.add("bad", [] { throw std::runtime_error("build failed"); });
+  sweep.add("child", [&dependent_ran] { dependent_ran = true; }, {bad});
+  EXPECT_THROW(sweep.run(), std::runtime_error);
+  EXPECT_FALSE(dependent_ran.load());
+}
+
+/// Reduced-scale Fig. 11 config: small enough that the whole grid runs in
+/// about a second per evaluation, big enough to exercise real runs.
+graph::MultiprogConfig tiny_config() {
+  graph::MultiprogConfig config;
+  config.rmat_scale = 10;
+  config.edge_count = 8192;
+  config.system.cache_scale = 2048;
+  return config;
+}
+
+TEST(Determinism, EvaluateDefensesMatchesAcrossPoolSizes) {
+  const auto config = tiny_config();
+  const auto kind = graph::WorkloadKind::kBFS;
+  const auto serial = graph::evaluate_defenses(config, kind, nullptr);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const auto parallel = graph::evaluate_defenses(config, kind, &pool);
+    EXPECT_EQ(serial, parallel) << threads << " thread(s)";
+  }
+}
+
+TEST(Determinism, DefenseMatrixMatchesAcrossPoolSizes) {
+  const auto config = tiny_config();
+  const auto serial =
+      graph::evaluate_defense_matrix(config, graph::kAllWorkloads, nullptr);
+  ASSERT_EQ(serial.size(), std::size(graph::kAllWorkloads));
+  for (unsigned threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const auto parallel =
+        graph::evaluate_defense_matrix(config, graph::kAllWorkloads, &pool);
+    EXPECT_EQ(serial, parallel) << threads << " thread(s)";
+  }
+}
+
+}  // namespace
+}  // namespace impact

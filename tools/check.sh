@@ -3,7 +3,11 @@
 #
 #   1. clang-tidy over src/ (.clang-tidy profile, warnings-as-errors),
 #   2. an ASan+UBSan build with -Werror of every target,
-#   3. the full ctest suite under the sanitizers with IMPACT_CHECK=1.
+#   3. the full ctest suite under the sanitizers with IMPACT_CHECK=1,
+#   4. a ThreadSanitizer build + the exec-engine tests under it (TSan and
+#      ASan cannot share a binary, so this is a separate build tree),
+#   5. tools/bench.sh --smoke: fails on >20% items/sec regression against
+#      the committed BENCH_simulator.json baseline.
 #
 # Exits non-zero if any stage fails and prints a per-stage summary. Stages
 # whose tooling is absent (no clang-tidy on the box) are reported as SKIP
@@ -72,10 +76,35 @@ else
   FAILED=1
 fi
 
+# --- Stage 4: TSan over the exec engine ---------------------------------
+# The thread pool and sweep scheduler are the only concurrent code in the
+# repo; running their tests under ThreadSanitizer catches ordering bugs the
+# serial suite cannot. Separate build tree: TSan excludes ASan.
+TSAN_DIR="${ROOT}/build-tsan"
+cmake -S "${ROOT}" -B "${TSAN_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIMPACT_SANITIZE=thread \
+  > /dev/null \
+  && cmake --build "${TSAN_DIR}" -j "${JOBS}" --target test_exec
+if [ $? -eq 0 ]; then
+  ( cd "${TSAN_DIR}" \
+    && IMPACT_CHECK=1 \
+       TSAN_OPTIONS=halt_on_error=1 \
+       ctest -R test_exec --output-on-failure )
+  stage tsan-exec $?
+else
+  STATUS[tsan-exec]="FAIL (build)"
+  FAILED=1
+fi
+
+# --- Stage 5: benchmark smoke (throughput regression gate) --------------
+"${ROOT}/tools/bench.sh" --smoke "${ROOT}/build-bench"
+stage bench-smoke $?
+
 # --- Summary ------------------------------------------------------------
 echo
 echo "== check summary"
-for s in clang-tidy sanitizer-build ctest; do
+for s in clang-tidy sanitizer-build ctest tsan-exec bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "attacks/impact_pnm.hpp"
+#include "cache/cache.hpp"
 #include "cache/hierarchy.hpp"
 #include "dram/controller.hpp"
 #include "pim/pei.hpp"
 #include "sys/system.hpp"
+#include "sys/tlb.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -83,6 +85,74 @@ void BM_CovertChannelBit(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * 16));
 }
 BENCHMARK(BM_CovertChannelBit);
+
+// --- Per-level microbenchmarks (PR 3): isolate the flat-layout fast
+// paths from the full-hierarchy composite above. ---
+
+void BM_CacheHit(benchmark::State& state) {
+  // Table 2 LLC shape; a resident footprint cycled round-robin so every
+  // access is a tag hit + replacement promotion.
+  cache::Cache c(cache::HierarchyConfig::table2().l3);
+  const std::uint64_t resident = 4096;
+  for (std::uint64_t l = 0; l < resident; ++l) c.fill(l);
+  std::uint64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(next, false));
+    next = (next + 1) % resident;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissFill(benchmark::State& state) {
+  // Random lines over 8x the capacity: mostly misses, each followed by the
+  // known-miss install path (victim selection + eviction bookkeeping).
+  cache::Cache c(cache::HierarchyConfig::table2().l3);
+  const std::uint64_t lines =
+      8 * c.config().size_bytes / c.config().line_bytes;
+  util::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    const auto l = rng.below(lines);
+    if (!c.access(l, false)) {
+      benchmark::DoNotOptimize(c.fill_known_miss(l));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheMissFill);
+
+void BM_EvictViaSet(benchmark::State& state) {
+  // The §3.3 eviction-set primitive: one call walks `ways` conflict lines
+  // through the LLC. Items = evictions, so items/s is directly comparable
+  // across layout changes.
+  dram::DramConfig dram_config;
+  dram::MemoryController mc(dram_config);
+  cache::Hierarchy hierarchy(cache::HierarchyConfig::table2(), mc);
+  util::Xoshiro256 rng(5);
+  util::Cycle clock = 0;
+  const std::uint64_t ws = 64ull << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy.evict_via_set(rng.below(ws), clock));
+    clock += 1000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvictViaSet);
+
+void BM_TlbLookup(benchmark::State& state) {
+  // Translations over a warmed 2 MiB footprint (512 pages): L1-DTLB hits
+  // with the occasional L2 fill, the common case on every simulated access.
+  sys::Tlb tlb;
+  const std::uint64_t pages = 512;
+  for (std::uint64_t p = 0; p < pages; ++p) tlb.warm(p << 12);
+  util::Xoshiro256 rng(6);
+  for (auto _ : state) {
+    const auto vaddr = (rng.below(pages) << 12) | 0x40;
+    benchmark::DoNotOptimize(tlb.translate(vaddr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbLookup);
 
 }  // namespace
 

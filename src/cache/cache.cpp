@@ -1,5 +1,8 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "util/assert.hpp"
 
 namespace impact::cache {
@@ -16,86 +19,116 @@ void CacheConfig::validate() const {
 Cache::Cache(CacheConfig config) : config_(std::move(config)) {
   config_.validate();
   sets_ = config_.sets();
-  ways_.assign(static_cast<std::size_t>(sets_) * config_.ways, Way{});
-  repl_.reserve(sets_);
+  pow2_sets_ = (sets_ & (sets_ - 1)) == 0;
+  set_mask_ = pow2_sets_ ? sets_ - 1 : 0;
+  tags_.assign(static_cast<std::size_t>(sets_) * config_.ways, 0);
+  meta_.assign(static_cast<std::size_t>(sets_) * config_.ways * 4, 0);
+  live_.assign(sets_, 0);
   for (std::uint32_t s = 0; s < sets_; ++s) {
-    repl_.emplace_back(config_.replacement, config_.ways);
+    repl::reset(config_.replacement, repl_slice(meta_base(s)));
   }
-}
-
-std::optional<std::uint32_t> Cache::find_way(std::uint32_t set,
-                                             LineAddr line) const {
-  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
-  for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    const Way& entry = ways_[base + w];
-    if (entry.valid && entry.tag == line) return w;
-  }
-  return std::nullopt;
 }
 
 bool Cache::access(LineAddr line, bool is_write) {
   const std::uint32_t set = set_index(line);
-  const auto way = find_way(set, line);
-  if (way.has_value()) {
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+  const std::size_t mbase = meta_base(set);
+  const std::uint32_t way = find_way(base, mbase, line);
+  if (way != kNoWay) {
     ++stats_.hits;
-    repl_[set].touch(*way);
-    if (is_write) {
-      ways_[static_cast<std::size_t>(set) * config_.ways + *way].dirty = true;
-    }
+    repl::touch(config_.replacement, repl_slice(mbase), way);
+    if (is_write) dirty_of(mbase)[way] = 1;
     return true;
   }
   ++stats_.misses;
   return false;
 }
 
+void Cache::touch_hit(LineAddr line, std::uint32_t way, bool is_write) {
+  const std::uint32_t set = set_index(line);
+  const std::size_t mbase = meta_base(set);
+  assert(way < config_.ways &&
+         tags_[static_cast<std::size_t>(set) * config_.ways + way] == line &&
+         valid_of(mbase)[way] != 0);
+  ++stats_.hits;
+  repl::touch(config_.replacement, repl_slice(mbase), way);
+  if (is_write) dirty_of(mbase)[way] = 1;
+}
+
+std::optional<Eviction> Cache::install(std::uint32_t set, std::size_t base,
+                                       LineAddr line, bool dirty) {
+  const std::size_t mbase = meta_base(set);
+  std::uint8_t* valid = valid_of(mbase);
+  std::uint8_t* dirt = dirty_of(mbase);
+  // Prefer the first invalid way. The occupancy counter skips the scan in
+  // the steady state (set full), where it would always come up empty.
+  if (live_[set] < config_.ways) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      if (valid[w] == 0) {
+        tags_[base + w] = line;
+        valid[w] = 1;
+        dirt[w] = dirty ? 1 : 0;
+        repl::insert(config_.replacement, repl_slice(mbase), w);
+        ++live_[set];
+        return std::nullopt;
+      }
+    }
+  }
+  const std::uint32_t victim =
+      repl::victim(config_.replacement, repl_slice(mbase));
+  Eviction ev{tags_[base + victim], dirt[victim] != 0};
+  ++stats_.evictions;
+  if (ev.dirty) ++stats_.writebacks;
+  tags_[base + victim] = line;
+  dirt[victim] = dirty ? 1 : 0;
+  repl::insert(config_.replacement, repl_slice(mbase), victim);
+  return ev;
+}
+
 std::optional<Eviction> Cache::fill(LineAddr line, bool dirty) {
   const std::uint32_t set = set_index(line);
   const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
-
+  const std::size_t mbase = meta_base(set);
   // Already present (e.g. racing fills): just update.
-  if (const auto way = find_way(set, line)) {
-    Way& entry = ways_[base + *way];
-    entry.dirty = entry.dirty || dirty;
-    repl_[set].touch(*way);
+  const std::uint32_t way = find_way(base, mbase, line);
+  if (way != kNoWay) {
+    if (dirty) dirty_of(mbase)[way] = 1;
+    repl::touch(config_.replacement, repl_slice(mbase), way);
     return std::nullopt;
   }
+  return install(set, base, line, dirty);
+}
 
-  // Prefer an invalid way.
-  for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    if (!ways_[base + w].valid) {
-      ways_[base + w] = Way{true, dirty, line};
-      repl_[set].insert(w);
-      return std::nullopt;
-    }
-  }
-
-  const std::uint32_t victim = repl_[set].victim();
-  Way& entry = ways_[base + victim];
-  Eviction ev{entry.tag, entry.dirty};
-  ++stats_.evictions;
-  if (entry.dirty) ++stats_.writebacks;
-  entry = Way{true, dirty, line};
-  repl_[set].insert(victim);
-  return ev;
+std::optional<Eviction> Cache::fill_known_miss(LineAddr line, bool dirty) {
+  const std::uint32_t set = set_index(line);
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+  assert(find_way(base, meta_base(set), line) == kNoWay);
+  return install(set, base, line, dirty);
 }
 
 std::optional<Eviction> Cache::invalidate(LineAddr line) {
   const std::uint32_t set = set_index(line);
-  const auto way = find_way(set, line);
-  if (!way.has_value()) return std::nullopt;
-  Way& entry = ways_[static_cast<std::size_t>(set) * config_.ways + *way];
-  Eviction ev{entry.tag, entry.dirty};
-  if (entry.dirty) ++stats_.writebacks;
-  entry = Way{};
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+  const std::size_t mbase = meta_base(set);
+  const std::uint32_t way = find_way(base, mbase, line);
+  if (way == kNoWay) return std::nullopt;
+  std::uint8_t* dirt = dirty_of(mbase);
+  Eviction ev{tags_[base + way], dirt[way] != 0};
+  if (ev.dirty) ++stats_.writebacks;
+  valid_of(mbase)[way] = 0;
+  dirt[way] = 0;
+  --live_[set];
   return ev;
 }
 
-bool Cache::contains(LineAddr line) const {
-  return find_way(set_index(line), line).has_value();
-}
-
 void Cache::clear() {
-  for (auto& w : ways_) w = Way{};
+  std::fill(meta_.begin(), meta_.end(), 0);
+  std::fill(live_.begin(), live_.end(), 0);
+  // Replacement metadata must not survive a clear: a "cold" cache whose
+  // victim ordering remembers the previous workload is not cold.
+  for (std::uint32_t s = 0; s < sets_; ++s) {
+    repl::reset(config_.replacement, repl_slice(meta_base(s)));
+  }
 }
 
 }  // namespace impact::cache

@@ -1,9 +1,17 @@
 // A single level of set-associative cache (tags only; data lives in DRAM's
 // DataArray — the cache model answers "hit or miss, and who got evicted").
+//
+// Storage is flat and cache-friendly: the per-way tag / valid / dirty bits
+// and the replacement metadata each live in one contiguous `sets x ways`
+// array, so a set's tag run occupies adjacent memory and `find_way` scans
+// densely instead of striding over an array-of-structs. Set indexing uses
+// shift/mask when the set count is a power of two (every Table 2
+// configuration), with a validated modulo fallback otherwise.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +58,9 @@ struct LevelStats {
 
 class Cache {
  public:
+  /// Sentinel way index returned by probe() on a miss.
+  static constexpr std::uint32_t kNoWay = ~0u;
+
   explicit Cache(CacheConfig config);
 
   [[nodiscard]] const CacheConfig& config() const { return config_; }
@@ -61,37 +72,120 @@ class Cache {
   /// evicted. Marks dirty when `dirty`.
   std::optional<Eviction> fill(LineAddr line, bool dirty = false);
 
+  /// `fill` for a line the caller has just observed missing (via a missed
+  /// access()/probe()/contains() with no intervening fill of this cache):
+  /// skips the redundant tag re-probe, going straight to way selection.
+  /// The precondition is asserted in debug builds.
+  std::optional<Eviction> fill_known_miss(LineAddr line, bool dirty = false);
+
   /// Removes `line` if present; returns its eviction record.
   std::optional<Eviction> invalidate(LineAddr line);
 
   /// Non-destructive presence probe (no replacement-state update).
-  [[nodiscard]] bool contains(LineAddr line) const;
+  [[nodiscard]] bool contains(LineAddr line) const {
+    return probe(line) != kNoWay;
+  }
+
+  /// Single-scan tag probe: the hitting way, or kNoWay. No stats, no
+  /// replacement update — a `contains` that exposes the way so the caller
+  /// can follow up without a second scan.
+  [[nodiscard]] std::uint32_t probe(LineAddr line) const {
+    const std::uint32_t set = set_index(line);
+    return find_way(static_cast<std::size_t>(set) * config_.ways,
+                    meta_base(set), line);
+  }
+
+  /// Registers a demand hit on the way returned by a probe of `line`:
+  /// counts the hit, promotes, and optionally marks dirty. Equivalent to a
+  /// hitting access(line, is_write) minus the tag scan.
+  void touch_hit(LineAddr line, std::uint32_t way, bool is_write);
+
+  /// Host-side locality hint: starts pulling the set's tag/valid/replacement
+  /// metadata toward the host caches ahead of an expected probe of `line`.
+  /// No effect on simulated state — the hierarchy issues these for the L2/L3
+  /// sets at access entry so the (host-)random set metadata arrives by the
+  /// time the miss path reaches those levels.
+  void prefetch_set(LineAddr line) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint32_t set = set_index(line);
+    const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+    __builtin_prefetch(tags_.data() + base);
+    if (config_.ways > 8) __builtin_prefetch(tags_.data() + base + 8);
+    __builtin_prefetch(meta_.data() + meta_base(set));
+#else
+    (void)line;
+#endif
+  }
 
   /// Set index the line maps to (for eviction-set construction).
   [[nodiscard]] std::uint32_t set_index(LineAddr line) const {
-    return static_cast<std::uint32_t>(line % sets_);
+    return pow2_sets_ ? (static_cast<std::uint32_t>(line) & set_mask_)
+                      : static_cast<std::uint32_t>(line % sets_);
   }
 
   [[nodiscard]] const LevelStats& stats() const { return stats_; }
   void reset_stats() { stats_ = LevelStats{}; }
 
-  /// Drops all lines (no writebacks; tests only).
+  /// Drops all lines and resets replacement metadata to the post-
+  /// construction state (no writebacks; tests only). A cleared cache must
+  /// not inherit the previous workload's victim ordering.
   void clear();
 
  private:
-  struct Way {
-    bool valid = false;
-    bool dirty = false;
-    LineAddr tag = 0;
-  };
+  // Per-set metadata block layout inside meta_: the set's valid bytes,
+  // dirty bytes and replacement bytes sit back to back (stride 4*ways,
+  // so a 16-way set's whole block is one 64-byte host cache line; the
+  // fourth quarter is padding). One random line instead of three per
+  // probed set.
+  [[nodiscard]] std::size_t meta_base(std::uint32_t set) const {
+    return static_cast<std::size_t>(set) * config_.ways * 4;
+  }
+  [[nodiscard]] const std::uint8_t* valid_of(std::size_t mbase) const {
+    return meta_.data() + mbase;
+  }
+  [[nodiscard]] std::uint8_t* valid_of(std::size_t mbase) {
+    return meta_.data() + mbase;
+  }
+  [[nodiscard]] std::uint8_t* dirty_of(std::size_t mbase) {
+    return meta_.data() + mbase + config_.ways;
+  }
+  [[nodiscard]] std::span<std::uint8_t> repl_slice(std::size_t mbase) {
+    return {meta_.data() + mbase + 2 * static_cast<std::size_t>(config_.ways),
+            config_.ways};
+  }
 
-  [[nodiscard]] std::optional<std::uint32_t> find_way(std::uint32_t set,
-                                                      LineAddr line) const;
+  [[nodiscard]] std::uint32_t find_way(std::size_t base, std::size_t mbase,
+                                       LineAddr line) const {
+    // First-match scan over the dense tag run. The exit branch is highly
+    // predictable: on a miss (the common case for every level under the
+    // attack workloads) it is never taken, so the scan retires at several
+    // ways per cycle instead of paying a serial compare-accumulate chain.
+    const LineAddr* tags = tags_.data() + base;
+    const std::uint8_t* valid = valid_of(mbase);
+    const std::uint32_t n = config_.ways;
+    for (std::uint32_t w = 0; w < n; ++w) {
+      if (tags[w] == line && valid[w] != 0) return w;
+    }
+    return kNoWay;
+  }
+
+  /// Way selection + install for a line known to be absent from the set
+  /// starting at `base` (= set * ways).
+  std::optional<Eviction> install(std::uint32_t set, std::size_t base,
+                                  LineAddr line, bool dirty);
 
   CacheConfig config_;
-  std::uint32_t sets_;
-  std::vector<Way> ways_;                    // sets_ * ways, row-major.
-  std::vector<ReplacementState> repl_;       // one per set.
+  std::uint32_t sets_ = 0;
+  std::uint32_t set_mask_ = 0;
+  bool pow2_sets_ = false;
+  // Flat storage, row-major by set: the dense tag run scanned by
+  // find_way, plus one packed valid/dirty/replacement byte block per set
+  // (see meta_base) so a probe touches one metadata cache line, not three.
+  std::vector<LineAddr> tags_;
+  std::vector<std::uint8_t> meta_;
+  /// Valid ways per set: a full set (the steady state) goes straight to
+  /// victim selection without scanning valid_ for a free way.
+  std::vector<std::uint16_t> live_;
   LevelStats stats_;
 };
 

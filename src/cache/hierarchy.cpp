@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 
@@ -37,6 +38,10 @@ Hierarchy::Hierarchy(HierarchyConfig config,
       l2_(config_.l2),
       l3_(config_.l3) {
   config_.validate();
+  const std::uint32_t lb = config_.l1.line_bytes;
+  if (lb != 0 && (lb & (lb - 1)) == 0) {
+    line_shift_ = static_cast<std::uint32_t>(std::countr_zero(lb));
+  }
 }
 
 util::Cycle Hierarchy::full_lookup_latency() const {
@@ -56,12 +61,18 @@ void Hierarchy::handle_l3_eviction(const Eviction& ev, util::Cycle now) {
 }
 
 void Hierarchy::fill_all_levels(LineAddr line, util::Cycle now, bool dirty) {
-  if (const auto ev3 = l3_.fill(line, dirty)) handle_l3_eviction(*ev3, now);
-  if (const auto ev2 = l2_.fill(line)) {
+  // Each level was just probed and missed in access(), and the L3 victim's
+  // back-invalidation only removes lines, so every fill of `line` itself
+  // can skip the tag re-probe. The victim write-down fills stay general:
+  // an L2/L1 victim is usually still present in the level below.
+  if (const auto ev3 = l3_.fill_known_miss(line, dirty)) {
+    handle_l3_eviction(*ev3, now);
+  }
+  if (const auto ev2 = l2_.fill_known_miss(line)) {
     // Non-inclusive upper levels: a dirty L2 victim flows down into L3.
     if (ev2->dirty) l3_.fill(ev2->line, true);
   }
-  if (const auto ev1 = l1_.fill(line)) {
+  if (const auto ev1 = l1_.fill_known_miss(line)) {
     if (ev1->dirty) l2_.fill(ev1->line, true);
   }
 }
@@ -74,8 +85,12 @@ void Hierarchy::issue_prefetches(const std::vector<LineAddr>& candidates,
     if (l2_.contains(line) || l3_.contains(line)) continue;
     ++prefetch_fills_;
     controller_->access(addr, now, actor_);  // DRAM-side pollution.
-    if (const auto ev3 = l3_.fill(line, false)) handle_l3_eviction(*ev3, now);
-    if (const auto ev2 = l2_.fill(line)) {
+    // Both levels verified absent just above (back-invalidation of the L3
+    // victim cannot re-insert `line`), so the fills skip the re-probe.
+    if (const auto ev3 = l3_.fill_known_miss(line, false)) {
+      handle_l3_eviction(*ev3, now);
+    }
+    if (const auto ev2 = l2_.fill_known_miss(line)) {
       if (ev2->dirty) l3_.fill(ev2->line, true);
     }
   }
@@ -85,6 +100,13 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
                                   bool is_write, std::uint64_t pc) {
   const LineAddr line = line_of(addr);
   MemAccessResult r;
+
+  // Host-side prefetch of the L2/L3 set metadata: those sets are random
+  // from the host's perspective and will be scanned tens of nanoseconds
+  // from now (after the L1 probe and the prefetcher updates), so the loads
+  // overlap with that work instead of stalling the miss path.
+  l2_.prefetch_set(line);
+  l3_.prefetch_set(line);
 
   r.latency += config_.l1.latency;
   if (l1_.access(line, is_write)) {
@@ -101,10 +123,13 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
   r.latency += config_.l2.latency;
   if (l2_.access(line, false)) {
     r.level = HitLevel::kL2;
-    if (const auto ev1 = l1_.fill(line, is_write)) {
+    // L1 was just probed and missed; skip its tag re-probe on the fill.
+    if (const auto ev1 = l1_.fill_known_miss(line, is_write)) {
       if (ev1->dirty) l2_.fill(ev1->line, true);
     }
-    issue_prefetches(l1_prefetches, now + r.latency);
+    if (!l1_prefetches.empty()) {
+      issue_prefetches(l1_prefetches, now + r.latency);
+    }
     return r;
   }
 
@@ -117,14 +142,19 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
   r.latency += config_.l3.latency;
   if (l3_.access(line, false)) {
     r.level = HitLevel::kL3;
-    if (const auto ev2 = l2_.fill(line)) {
+    // L1/L2 both missed their probes above; the fills skip the re-probe.
+    if (const auto ev2 = l2_.fill_known_miss(line)) {
       if (ev2->dirty) l3_.fill(ev2->line, true);
     }
-    if (const auto ev1 = l1_.fill(line, is_write)) {
+    if (const auto ev1 = l1_.fill_known_miss(line, is_write)) {
       if (ev1->dirty) l2_.fill(ev1->line, true);
     }
-    issue_prefetches(l1_prefetches, now + r.latency);
-    issue_prefetches(l2_prefetches, now + r.latency);
+    if (!l1_prefetches.empty()) {
+      issue_prefetches(l1_prefetches, now + r.latency);
+    }
+    if (!l2_prefetches.empty()) {
+      issue_prefetches(l2_prefetches, now + r.latency);
+    }
     return r;
   }
 
@@ -134,8 +164,12 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
   r.level = HitLevel::kMemory;
   r.dram_outcome = mem.outcome;
   fill_all_levels(line, now + r.latency, is_write);
-  issue_prefetches(l1_prefetches, now + r.latency);
-  issue_prefetches(l2_prefetches, now + r.latency);
+  if (!l1_prefetches.empty()) {
+    issue_prefetches(l1_prefetches, now + r.latency);
+  }
+  if (!l2_prefetches.empty()) {
+    issue_prefetches(l2_prefetches, now + r.latency);
+  }
   return r;
 }
 
@@ -175,17 +209,25 @@ util::Cycle Hierarchy::evict_via_set(dram::PhysAddr addr, util::Cycle now,
         controller_->mapping().decode(addr_of(line)).bank == *avoid_bank) {
       continue;  // Keep the signalling bank's row buffer untouched.
     }
-    // Functional path: install the conflicting line.
+    // Functional path: install the conflicting line. One tag scan decides
+    // hit and miss handling (the seed probed up to three times here:
+    // contains, then access, then the fill's own re-probe).
     const LineAddr l = line;
     lookup_cycles += full_lookup_latency();
-    if (!l3_.contains(l)) {
+    const std::uint32_t way = l3_.probe(l);
+    if (way == Cache::kNoWay) {
       const auto mem =
           controller_->access(addr_of(l), now + lookup_cycles, actor_);
       dram_cycles += mem.latency;
+      if (const auto ev3 = l3_.fill_known_miss(l)) {
+        handle_l3_eviction(*ev3, now);
+      }
     } else {
-      l3_.access(l, false);  // Promote; keeps the set pressure honest.
+      // Promote; keeps the set pressure honest. Collapses the seed's
+      // hitting access() + present fill() (touch is idempotent, so the
+      // double promotion equals one).
+      l3_.touch_hit(l, way, false);
     }
-    if (const auto ev3 = l3_.fill(l)) handle_l3_eviction(*ev3, now);
     ++filled;
   }
   // Upper levels may still hold the target (they are smaller, so the
@@ -219,6 +261,9 @@ util::Cycle Hierarchy::store_nontemporal(dram::PhysAddr addr,
 }
 
 void Hierarchy::reset_stats() {
+  // Counters only: lines, replacement state and prefetcher training all
+  // survive deliberately (resetting stats mid-run must not perturb the
+  // simulated machine).
   l1_.reset_stats();
   l2_.reset_stats();
   l3_.reset_stats();
@@ -226,6 +271,10 @@ void Hierarchy::reset_stats() {
 }
 
 void Hierarchy::drop_all() {
+  // Cache::clear() also resets per-set replacement metadata, so a dropped
+  // hierarchy is genuinely cold rather than inheriting the previous
+  // workload's victim ordering. Prefetcher training is kept: drop_all is a
+  // tag-drop helper, not a machine reset.
   l1_.clear();
   l2_.clear();
   l3_.clear();

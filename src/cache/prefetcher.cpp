@@ -2,15 +2,22 @@
 
 #include <algorithm>
 
+#include "util/assert.hpp"
+
 namespace impact::cache {
 
 IpStridePrefetcher::IpStridePrefetcher(std::uint32_t entries,
                                        std::uint32_t degree)
-    : degree_(degree), table_(entries) {}
+    : degree_(degree), table_(entries) {
+  if (entries != 0 && (entries & (entries - 1)) == 0) {
+    pow2_entries_ = true;
+    entry_mask_ = entries - 1;
+  }
+}
 
 void IpStridePrefetcher::observe_into(std::uint64_t pc, LineAddr line,
                                       std::vector<LineAddr>& out) {
-  Entry& e = table_[pc % table_.size()];
+  Entry& e = table_[index_of(pc)];
   if (e.valid && e.pc == pc) {
     const std::int64_t stride =
         static_cast<std::int64_t>(line) - static_cast<std::int64_t>(e.last_line);
@@ -38,52 +45,79 @@ void IpStridePrefetcher::observe_into(std::uint64_t pc, LineAddr line,
 
 StreamerPrefetcher::StreamerPrefetcher(std::uint32_t streams,
                                        std::uint32_t degree)
-    : degree_(degree), streams_(streams) {}
+    : degree_(degree),
+      n_(streams),
+      region_(streams, 0),
+      recency_(streams, 0),
+      last_line_(streams, 0),
+      direction_(streams, 0),
+      confidence_(streams, 0),
+      valid_(streams, 0) {
+  util::check(streams <= 256,
+              "StreamerPrefetcher: byte recency permutation caps streams at "
+              "256");
+  repl::reset(ReplacementKind::kLru, recency_);
+}
 
 void StreamerPrefetcher::observe_into(std::uint64_t /*pc*/, LineAddr line,
                                       std::vector<LineAddr>& out) {
-  ++tick_;
   const std::uint64_t region = line >> kRegionShift;
 
-  // Find a tracking stream for this region.
-  Stream* found = nullptr;
-  for (auto& s : streams_) {
-    if (s.valid && s.region == region) {
-      found = &s;
+  // Find the tracking stream for this region: first valid match in index
+  // order over the dense region run. The exit branch is near-perfectly
+  // predicted — a random access stream almost never re-hits a tracked
+  // region, so the loop runs branch-free to the end.
+  std::uint32_t found = kNoStream;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (region_[i] == region && valid_[i] != 0) {
+      found = i;
       break;
     }
   }
-  if (found == nullptr) {
-    // Allocate the LRU stream.
-    Stream* victim = &streams_[0];
-    for (auto& s : streams_) {
-      if (!s.valid) {
-        victim = &s;
-        break;
+
+  if (found == kNoStream) {
+    // Allocate the first free slot, else the least-recently-used stream.
+    // Once every slot has been used the table never empties, so the
+    // free-slot scan is skipped outright.
+    std::uint32_t slot = kNoStream;
+    if (live_ < n_) {
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (valid_[i] == 0) {
+          slot = i;
+          ++live_;
+          break;
+        }
       }
-      if (s.lru < victim->lru) victim = &s;
     }
-    *victim = Stream{true, region, line, 0, 0, tick_};
+    if (slot == kNoStream) {
+      slot = repl::victim(ReplacementKind::kLru, recency_);
+    }
+    valid_[slot] = 1;
+    region_[slot] = region;
+    last_line_[slot] = line;
+    direction_[slot] = 0;
+    confidence_[slot] = 0;
+    repl::touch(ReplacementKind::kLru, recency_, slot);
     return;
   }
 
-  found->lru = tick_;
+  repl::touch(ReplacementKind::kLru, recency_, found);
   const std::int64_t delta = static_cast<std::int64_t>(line) -
-                             static_cast<std::int64_t>(found->last_line);
+                             static_cast<std::int64_t>(last_line_[found]);
   const std::int8_t dir = delta > 0 ? 1 : (delta < 0 ? -1 : 0);
-  if (dir != 0 && dir == found->direction) {
-    found->confidence =
-        static_cast<std::uint8_t>(std::min<int>(found->confidence + 1, 3));
+  if (dir != 0 && dir == direction_[found]) {
+    confidence_[found] =
+        static_cast<std::uint8_t>(std::min<int>(confidence_[found] + 1, 3));
   } else if (dir != 0) {
-    found->direction = dir;
-    found->confidence = 1;
+    direction_[found] = dir;
+    confidence_[found] = 1;
   }
-  found->last_line = line;
+  last_line_[found] = line;
 
-  if (found->confidence >= 2) {
+  if (confidence_[found] >= 2) {
     for (std::uint32_t d = 1; d <= degree_; ++d) {
       const std::int64_t target = static_cast<std::int64_t>(line) +
-                                  static_cast<std::int64_t>(found->direction) *
+                                  static_cast<std::int64_t>(direction_[found]) *
                                       static_cast<std::int64_t>(d);
       // Stay inside the 4 KiB region, as real streamers do.
       if (target >= 0 &&

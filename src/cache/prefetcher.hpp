@@ -53,7 +53,14 @@ class IpStridePrefetcher final : public Prefetcher {
     std::uint8_t confidence = 0;
   };
 
+  [[nodiscard]] std::size_t index_of(std::uint64_t pc) const {
+    // Mask fast path for the (default) power-of-two table size.
+    return pow2_entries_ ? (pc & entry_mask_) : (pc % table_.size());
+  }
+
   std::uint32_t degree_;
+  std::uint64_t entry_mask_ = 0;
+  bool pow2_entries_ = false;
   std::vector<Entry> table_;
 };
 
@@ -68,20 +75,29 @@ class StreamerPrefetcher final : public Prefetcher {
   using Prefetcher::observe;
 
  private:
-  struct Stream {
-    bool valid = false;
-    std::uint64_t region = 0;  ///< line >> kRegionShift.
-    LineAddr last_line = 0;
-    std::int8_t direction = 0;
-    std::uint8_t confidence = 0;
-    std::uint64_t lru = 0;
-  };
-
   static constexpr std::uint32_t kRegionShift = 6;  // 64 lines = 4 KiB.
+  static constexpr std::uint32_t kNoStream = ~0u;
 
   std::uint32_t degree_;
-  std::vector<Stream> streams_;
-  std::uint64_t tick_ = 0;
+  std::uint32_t n_;  ///< Stream count.
+  // Flat parallel arrays: the region-match scan — run once per L2 lookup —
+  // walks a dense 8-byte-stride run instead of 40-byte array-of-structs
+  // entries, and the remaining fields are touched only for the one stream
+  // that matched (or the allocation victim).
+  //
+  // Stream recency is a byte permutation driven by the repl:: LRU free
+  // functions rather than the seed's 64-bit access-tick counter: every
+  // stream update stamped a fresh, strictly increasing tick, so the
+  // leftmost-minimum tick IS the unique least-recently-used stream and a
+  // permutation encodes the same order — while victim search and promotion
+  // become the same vectorizable byte operations the caches use.
+  std::vector<std::uint64_t> region_;  ///< line >> kRegionShift.
+  std::vector<std::uint8_t> recency_;  ///< LRU permutation; lower = recent.
+  std::vector<LineAddr> last_line_;
+  std::vector<std::int8_t> direction_;
+  std::vector<std::uint8_t> confidence_;
+  std::vector<std::uint8_t> valid_;
+  std::uint32_t live_ = 0;  ///< Valid streams; == n_ means no free slot.
 };
 
 }  // namespace impact::cache

@@ -1,56 +1,18 @@
 #include "cache/replacement.hpp"
 
-namespace impact::cache {
+#include "util/assert.hpp"
 
-ReplacementState::ReplacementState(ReplacementKind kind, std::uint32_t ways)
-    : kind_(kind), ways_(ways) {
-  util::check(ways > 0, "ReplacementState requires at least one way");
-  if (kind_ == ReplacementKind::kLru) {
-    meta_.resize(ways);
-    for (std::uint32_t w = 0; w < ways; ++w) {
-      meta_[w] = static_cast<std::uint8_t>(w);  // Arbitrary initial order.
+namespace impact::cache::repl {
+
+void reset(ReplacementKind kind, std::span<std::uint8_t> meta) {
+  util::check(!meta.empty(), "repl::reset requires at least one way");
+  if (kind == ReplacementKind::kLru) {
+    for (std::size_t w = 0; w < meta.size(); ++w) {
+      meta[w] = static_cast<std::uint8_t>(w);  // Arbitrary initial order.
     }
   } else {
-    meta_.assign(ways, kRrpvMax);  // All lines distant (empty set).
+    for (std::uint8_t& m : meta) m = kRrpvMax;  // All distant (empty set).
   }
 }
 
-void ReplacementState::touch(std::uint32_t way) {
-  util::check(way < ways_, "ReplacementState::touch: way out of range");
-  if (kind_ == ReplacementKind::kLru) {
-    const std::uint8_t old = meta_[way];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (meta_[w] < old) ++meta_[w];
-    }
-    meta_[way] = 0;
-  } else {
-    meta_[way] = 0;  // SRRIP hit promotion: near-immediate re-reference.
-  }
-}
-
-void ReplacementState::insert(std::uint32_t way) {
-  util::check(way < ways_, "ReplacementState::insert: way out of range");
-  if (kind_ == ReplacementKind::kLru) {
-    touch(way);
-  } else {
-    meta_[way] = kRrpvInsert;
-  }
-}
-
-std::uint32_t ReplacementState::victim() {
-  if (kind_ == ReplacementKind::kLru) {
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (meta_[w] == ways_ - 1) return w;
-    }
-    return ways_ - 1;  // Unreachable for well-formed state.
-  }
-  // SRRIP: find leftmost RRPV==max, ageing all entries until one appears.
-  for (;;) {
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (meta_[w] == kRrpvMax) return w;
-    }
-    for (std::uint32_t w = 0; w < ways_; ++w) ++meta_[w];
-  }
-}
-
-}  // namespace impact::cache
+}  // namespace impact::cache::repl

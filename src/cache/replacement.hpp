@@ -2,12 +2,22 @@
 //
 // Table 2 uses LRU in the L1 and SRRIP (Jaleel et al., ISCA'10) in the L2/L3.
 // Policies are modelled per set over way indices; the cache owns the tags.
+//
+// The policies are free functions over a `std::span<std::uint8_t>` — one
+// metadata byte per way, sliced out of a flat `sets x ways` array owned by
+// the cache/TLB. The owning structure hands each call the slice for the set
+// being updated; nothing here allocates. (The previous per-set
+// `ReplacementState` object held its own heap vector: 8192 separate
+// allocations for the Table 2 LLC, and a pointer chase on every touch.)
+//
+// Metadata encoding:
+//   LRU   — a permutation of 0..ways-1; lower = more recently used.
+//   SRRIP — 2-bit re-reference prediction values (RRPV).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <vector>
-
-#include "util/assert.hpp"
+#include <span>
 
 namespace impact::cache {
 
@@ -23,29 +33,95 @@ enum class ReplacementKind : std::uint8_t { kLru, kSrrip };
   return "?";
 }
 
-/// Replacement state for one set. Ways are indexed 0..ways-1.
-class ReplacementState {
- public:
-  ReplacementState(ReplacementKind kind, std::uint32_t ways);
+namespace repl {
 
-  /// Marks `way` as just accessed (hit promotion).
-  void touch(std::uint32_t way);
+inline constexpr std::uint8_t kRrpvMax = 3;     // 2-bit RRPV.
+inline constexpr std::uint8_t kRrpvInsert = 2;  // Long re-reference.
 
-  /// Marks `way` as just filled (insertion).
-  void insert(std::uint32_t way);
+/// Initializes one set's metadata to the empty-set state (construction and
+/// Cache::clear()). LRU: the arbitrary order 0..ways-1. SRRIP: all distant.
+void reset(ReplacementKind kind, std::span<std::uint8_t> meta);
 
-  /// Chooses the way to evict. For SRRIP this ages RRPVs as a side effect
-  /// (the standard search-and-increment loop).
-  [[nodiscard]] std::uint32_t victim();
+/// Marks `way` as just accessed (hit promotion).
+inline void touch(ReplacementKind kind, std::span<std::uint8_t> meta,
+                  std::uint32_t way) {
+  assert(way < meta.size());
+  if (kind == ReplacementKind::kLru) {
+    // Branchless shift-up of everything more recent than `way`: the
+    // compare folds into an add the compiler vectorizes, instead of a
+    // data-dependent branch per way.
+    const std::uint8_t old = meta[way];
+    for (std::uint8_t& m : meta) {
+      m = static_cast<std::uint8_t>(m + static_cast<std::uint8_t>(m < old));
+    }
+    meta[way] = 0;
+  } else {
+    meta[way] = 0;  // SRRIP hit promotion: near-immediate re-reference.
+  }
+}
 
- private:
-  ReplacementKind kind_;
-  std::uint32_t ways_;
-  // LRU: lower = more recent. SRRIP: 2-bit re-reference prediction values.
-  std::vector<std::uint8_t> meta_;
+/// Marks `way` as just filled (insertion).
+inline void insert(ReplacementKind kind, std::span<std::uint8_t> meta,
+                   std::uint32_t way) {
+  assert(way < meta.size());
+  if (kind == ReplacementKind::kLru) {
+    touch(kind, meta, way);
+  } else {
+    meta[way] = kRrpvInsert;
+  }
+}
 
-  static constexpr std::uint8_t kRrpvMax = 3;     // 2-bit RRPV.
-  static constexpr std::uint8_t kRrpvInsert = 2;  // Long re-reference.
-};
+/// Chooses the way to evict. For SRRIP this ages RRPVs as a side effect
+/// (the standard search-and-increment, collapsed to one pass: age every
+/// entry by the distance of the current maximum from kRrpvMax, then take
+/// the leftmost entry at the maximum — state-identical to the iterated
+/// search-and-increment loop).
+[[nodiscard]] inline std::uint32_t victim(ReplacementKind kind,
+                                          std::span<std::uint8_t> meta) {
+  const std::uint32_t ways = static_cast<std::uint32_t>(meta.size());
+  if (kind == ReplacementKind::kLru) {
+    // The metadata is a permutation, so exactly one way holds ways-1; the
+    // OR-accumulate finds it without a data-dependent exit branch (the
+    // match position is random, so an early-exit scan mispredicts once per
+    // search) and vectorizes as byte compares.
+    const std::uint8_t lru_rank = static_cast<std::uint8_t>(ways - 1);
+    std::uint32_t idx = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      idx |= meta[w] == lru_rank ? w : 0u;
+    }
+    return idx;
+  }
+  // Leftmost-argmax without a data-dependent branch: RRPVs look random to
+  // the branch predictor, so a compare-and-branch per way mispredicts
+  // often. Packing (rrpv, ways-1-w) into one word turns the search into a
+  // pure max reduction the compiler can tree-vectorize — the leftmost way
+  // holding the maximum RRPV wins, matching the scalar scan exactly.
+  std::uint32_t best;
+  std::uint8_t max;
+  if (ways <= 64) {
+    std::uint32_t packed = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      const std::uint32_t p =
+          (static_cast<std::uint32_t>(meta[w]) << 6) | (63 - w);
+      packed = p > packed ? p : packed;
+    }
+    best = 63 - (packed & 63u);
+    max = static_cast<std::uint8_t>(packed >> 6);
+  } else {
+    best = 0;
+    max = meta[0];
+    for (std::uint32_t w = 1; w < ways; ++w) {
+      const bool gt = meta[w] > max;
+      max = gt ? meta[w] : max;
+      best = gt ? w : best;
+    }
+  }
+  if (max < kRrpvMax) {
+    const std::uint8_t delta = static_cast<std::uint8_t>(kRrpvMax - max);
+    for (std::uint8_t& m : meta) m = static_cast<std::uint8_t>(m + delta);
+  }
+  return best;
+}
 
+}  // namespace repl
 }  // namespace impact::cache

@@ -9,19 +9,21 @@ Tlb::Level::Level(const TlbLevelConfig& c)
   util::check(c.entries % c.ways == 0,
               "TlbLevelConfig: entries must be divisible by ways");
   util::check(sets > 0, "TlbLevelConfig: at least one set required");
+  pow2_sets = (sets & (sets - 1)) == 0;
+  set_mask = pow2_sets ? sets - 1 : 0;
   tags.assign(static_cast<std::size_t>(sets) * ways, kInvalid);
-  repl.reserve(sets);
+  repl_meta.assign(static_cast<std::size_t>(sets) * ways, 0);
   for (std::uint32_t s = 0; s < sets; ++s) {
-    repl.emplace_back(cache::ReplacementKind::kLru, ways);
+    cache::repl::reset(cache::ReplacementKind::kLru,
+                       repl_slice(static_cast<std::size_t>(s) * ways));
   }
 }
 
 bool Tlb::Level::lookup(std::uint64_t page) {
-  const std::uint32_t set = static_cast<std::uint32_t>(page % sets);
-  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  const std::size_t base = static_cast<std::size_t>(set_of(page)) * ways;
   for (std::uint32_t w = 0; w < ways; ++w) {
     if (tags[base + w] == page) {
-      repl[set].touch(w);
+      cache::repl::touch(cache::ReplacementKind::kLru, repl_slice(base), w);
       return true;
     }
   }
@@ -29,24 +31,23 @@ bool Tlb::Level::lookup(std::uint64_t page) {
 }
 
 void Tlb::Level::fill(std::uint64_t page) {
-  const std::uint32_t set = static_cast<std::uint32_t>(page % sets);
-  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  const std::size_t base = static_cast<std::size_t>(set_of(page)) * ways;
+  // One scan finds both the hitting way and the first free way.
+  std::uint32_t free_way = ~0u;
   for (std::uint32_t w = 0; w < ways; ++w) {
     if (tags[base + w] == page) {
-      repl[set].touch(w);
+      cache::repl::touch(cache::ReplacementKind::kLru, repl_slice(base), w);
       return;
     }
+    if (free_way == ~0u && tags[base + w] == kInvalid) free_way = w;
   }
-  for (std::uint32_t w = 0; w < ways; ++w) {
-    if (tags[base + w] == kInvalid) {
-      tags[base + w] = page;
-      repl[set].insert(w);
-      return;
-    }
-  }
-  const std::uint32_t victim = repl[set].victim();
-  tags[base + victim] = page;
-  repl[set].insert(victim);
+  const std::uint32_t way =
+      free_way != ~0u
+          ? free_way
+          : cache::repl::victim(cache::ReplacementKind::kLru,
+                                repl_slice(base));
+  tags[base + way] = page;
+  cache::repl::insert(cache::ReplacementKind::kLru, repl_slice(base), way);
 }
 
 Tlb::Tlb(TlbConfig config)

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cache/replacement.hpp"
@@ -59,15 +60,28 @@ class Tlb {
   void reset_stats() { stats_ = TlbStats{}; }
 
  private:
+  /// One TLB level: flat set-associative tag array with inline LRU
+  /// metadata (same contiguous layout as cache::Cache — one tags run and
+  /// one metadata byte run, sliced per set). Set indexing is mask-based
+  /// when the set count is a power of two (all Table 2 TLB shapes).
   struct Level {
-    Level(const TlbLevelConfig& c);
+    explicit Level(const TlbLevelConfig& c);
     bool lookup(std::uint64_t page);
     void fill(std::uint64_t page);
+    [[nodiscard]] std::uint32_t set_of(std::uint64_t page) const {
+      return pow2_sets ? (static_cast<std::uint32_t>(page) & set_mask)
+                       : static_cast<std::uint32_t>(page % sets);
+    }
+    [[nodiscard]] std::span<std::uint8_t> repl_slice(std::size_t base) {
+      return {repl_meta.data() + base, ways};
+    }
 
     std::uint32_t sets;
     std::uint32_t ways;
-    std::vector<std::uint64_t> tags;  // sets*ways; kInvalid when empty.
-    std::vector<cache::ReplacementState> repl;
+    std::uint32_t set_mask = 0;
+    bool pow2_sets = false;
+    std::vector<std::uint64_t> tags;       // sets*ways; kInvalid when empty.
+    std::vector<std::uint8_t> repl_meta;   // sets*ways LRU bytes.
     static constexpr std::uint64_t kInvalid = ~0ull;
   };
 

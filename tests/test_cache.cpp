@@ -1,6 +1,8 @@
 // Unit tests: set-associative cache, replacement policies.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "cache/cache.hpp"
 #include "cache/replacement.hpp"
 
@@ -24,21 +26,25 @@ TEST(CacheConfigTest, Validation) {
 }
 
 TEST(ReplacementLru, EvictsLeastRecentlyUsed) {
-  ReplacementState r(ReplacementKind::kLru, 4);
-  for (std::uint32_t w = 0; w < 4; ++w) r.insert(w);
-  r.touch(0);  // Order (MRU->LRU): 0,3,2,1.
-  EXPECT_EQ(r.victim(), 1u);
-  r.touch(1);
-  EXPECT_EQ(r.victim(), 2u);
+  std::array<std::uint8_t, 4> meta{};
+  repl::reset(ReplacementKind::kLru, meta);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    repl::insert(ReplacementKind::kLru, meta, w);
+  }
+  repl::touch(ReplacementKind::kLru, meta, 0);  // Order (MRU->LRU): 0,3,2,1.
+  EXPECT_EQ(repl::victim(ReplacementKind::kLru, meta), 1u);
+  repl::touch(ReplacementKind::kLru, meta, 1);
+  EXPECT_EQ(repl::victim(ReplacementKind::kLru, meta), 2u);
 }
 
 TEST(ReplacementSrrip, InsertsAtDistantAndPromotesOnHit) {
-  ReplacementState r(ReplacementKind::kSrrip, 2);
-  r.insert(0);
-  r.insert(1);
-  r.touch(0);  // RRPV(0)=0, RRPV(1)=2.
+  std::array<std::uint8_t, 2> meta{};
+  repl::reset(ReplacementKind::kSrrip, meta);
+  repl::insert(ReplacementKind::kSrrip, meta, 0);
+  repl::insert(ReplacementKind::kSrrip, meta, 1);
+  repl::touch(ReplacementKind::kSrrip, meta, 0);  // RRPV(0)=0, RRPV(1)=2.
   // Victim search ages until an RRPV==3 exists: way 1 reaches it first.
-  EXPECT_EQ(r.victim(), 1u);
+  EXPECT_EQ(repl::victim(ReplacementKind::kSrrip, meta), 1u);
 }
 
 TEST(Cache, MissThenHit) {
@@ -57,6 +63,84 @@ TEST(Cache, SetIndexing) {
   EXPECT_EQ(cache.set_index(0), 0u);
   EXPECT_EQ(cache.set_index(5), 1u);
   EXPECT_EQ(cache.set_index(7), 3u);
+  // Mask-based indexing must agree with modulo over high line addresses.
+  EXPECT_EQ(cache.set_index(0xDEADBEEFCAFEull),
+            static_cast<std::uint32_t>(0xDEADBEEFCAFEull % 4));
+}
+
+TEST(Cache, NonPowerOfTwoSetsUseModuloFallback) {
+  // 3 sets x 2 ways: the mask fast path does not apply; the validated
+  // modulo fallback must behave exactly like the pow2 path.
+  CacheConfig config{"np2", 3 * 2 * 64, 2, 64, 1, ReplacementKind::kLru};
+  Cache cache(config);
+  EXPECT_EQ(config.sets(), 3u);
+  for (LineAddr l : {0ull, 1ull, 2ull, 3ull, 7ull, 0x123456789ull}) {
+    EXPECT_EQ(cache.set_index(l), static_cast<std::uint32_t>(l % 3));
+  }
+  // Lines 0 and 3 conflict (set 0), line 1 does not.
+  cache.fill(0);
+  cache.fill(3);
+  cache.fill(1);
+  const auto ev = cache.fill(6);  // Set 0 again: evicts LRU line 0.
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Cache, ProbeExposesWayWithoutPerturbing) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.probe(4), Cache::kNoWay);
+  cache.fill(0);
+  cache.fill(4);
+  cache.access(0, false);  // 4 is LRU.
+  const auto way = cache.probe(4);
+  ASSERT_NE(way, Cache::kNoWay);
+  // probe() must not promote: 4 still evicts first.
+  const auto ev = cache.fill(8);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 4u);
+}
+
+TEST(Cache, TouchHitMatchesHittingAccess) {
+  Cache a(small_cache());
+  Cache b(small_cache());
+  for (Cache* c : {&a, &b}) {
+    c->fill(0);
+    c->fill(4);
+  }
+  EXPECT_TRUE(a.access(0, true));
+  const auto way = b.probe(0);
+  ASSERT_NE(way, Cache::kNoWay);
+  b.touch_hit(0, way, true);
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  // Same replacement outcome and same dirty bit on both paths.
+  const auto ev_a = a.fill(8);
+  const auto ev_b = b.fill(8);
+  ASSERT_TRUE(ev_a.has_value() && ev_b.has_value());
+  EXPECT_EQ(ev_a->line, ev_b->line);
+  const auto inv_a = a.invalidate(0);
+  const auto inv_b = b.invalidate(0);
+  ASSERT_TRUE(inv_a.has_value() && inv_b.has_value());
+  EXPECT_TRUE(inv_a->dirty);
+  EXPECT_TRUE(inv_b->dirty);
+}
+
+TEST(Cache, FillKnownMissMatchesGeneralFill) {
+  Cache a(small_cache());
+  Cache b(small_cache());
+  for (Cache* c : {&a, &b}) {
+    c->fill(0);
+    c->fill(4);
+    c->access(4, false);  // 0 is LRU.
+  }
+  ASSERT_FALSE(b.contains(8));
+  const auto ev_a = a.fill(8, true);
+  const auto ev_b = b.fill_known_miss(8, true);
+  ASSERT_TRUE(ev_a.has_value() && ev_b.has_value());
+  EXPECT_EQ(ev_a->line, ev_b->line);
+  EXPECT_EQ(ev_a->dirty, ev_b->dirty);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_TRUE(b.contains(8));
 }
 
 TEST(Cache, EvictionOnSetOverflow) {
@@ -127,6 +211,42 @@ TEST(Cache, ClearDropsEverything) {
   cache.clear();
   EXPECT_FALSE(cache.contains(0));
   EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Cache, ClearResetsReplacementState) {
+  // A cleared cache must behave exactly like a freshly constructed one:
+  // same insertion ways, same victim ordering — no inherited metadata.
+  for (ReplacementKind kind :
+       {ReplacementKind::kLru, ReplacementKind::kSrrip}) {
+    Cache used(small_cache(kind));
+    // Churn set 0 (lines 0,4,8,... in a 4-set cache) into a non-trivial
+    // replacement order, including hit promotions.
+    for (LineAddr l : {0ull, 4ull, 8ull, 4ull, 12ull, 0ull, 16ull}) {
+      if (!used.access(l, false)) used.fill(l);
+    }
+    used.clear();
+    used.reset_stats();
+
+    Cache fresh(small_cache(kind));
+    // Replay an identical post-clear workload on both; every eviction
+    // decision must match.
+    const LineAddr script[] = {0, 4, 0, 8, 12, 8, 16, 20};
+    for (LineAddr l : script) {
+      const bool hit_used = used.access(l, false);
+      const bool hit_fresh = fresh.access(l, false);
+      EXPECT_EQ(hit_used, hit_fresh);
+      if (!hit_used) {
+        const auto ev_used = used.fill(l);
+        const auto ev_fresh = fresh.fill(l);
+        EXPECT_EQ(ev_used.has_value(), ev_fresh.has_value());
+        if (ev_used && ev_fresh) {
+          EXPECT_EQ(ev_used->line, ev_fresh->line);
+        }
+      }
+    }
+    EXPECT_EQ(used.stats().hits, fresh.stats().hits);
+    EXPECT_EQ(used.stats().evictions, fresh.stats().evictions);
+  }
 }
 
 TEST(Cache, ExactLruSequence) {

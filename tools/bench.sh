@@ -28,10 +28,17 @@ BUILD_DIR="${BUILD_DIR:-${ROOT}/build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BASELINE="${ROOT}/BENCH_simulator.json"
 
-echo "== impact bench: build=${BUILD_DIR} smoke=${SMOKE}"
+# Benchmarks need an optimized, unsanitized build. Force Release every
+# run (never trust whatever the build dir last held): an accidental Debug
+# baseline understates throughput and turns the 20% smoke gate into noise.
+# IMPACT_BENCH_BUILD_TYPE overrides (e.g. RelWithDebInfo for profiling).
+BENCH_BUILD_TYPE="${IMPACT_BENCH_BUILD_TYPE:-Release}"
 
-# Benchmarks need an optimized, unsanitized build.
-cmake -S "${ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+echo "== impact bench: build=${BUILD_DIR} type=${BENCH_BUILD_TYPE}" \
+     "smoke=${SMOKE}"
+
+cmake -S "${ROOT}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE="${BENCH_BUILD_TYPE}" -DIMPACT_SANITIZE="" \
   > /dev/null \
   && cmake --build "${BUILD_DIR}" -j "${JOBS}" \
        --target bench_simulator_perf bench_sweep_scaling
@@ -39,6 +46,12 @@ if [ $? -ne 0 ]; then
   echo "bench: build failed" >&2
   exit 1
 fi
+
+# The build type actually configured, straight from the build tree: the
+# google-benchmark context reports the *library's* build type, which for a
+# system-installed libbenchmark says "debug" regardless of our own flags.
+BUILD_TYPE_RECORDED="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${BUILD_DIR}/CMakeCache.txt" | head -n 1)"
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -75,7 +88,8 @@ if [ $? -ne 0 ]; then
 fi
 
 # --- Assemble / compare -------------------------------------------------
-SMOKE=${SMOKE} TMP_DIR=${TMP_DIR} BASELINE=${BASELINE} python3 - <<'EOF'
+SMOKE=${SMOKE} TMP_DIR=${TMP_DIR} BASELINE=${BASELINE} \
+BUILD_TYPE_RECORDED=${BUILD_TYPE_RECORDED} python3 - <<'EOF'
 import json
 import os
 import sys
@@ -83,6 +97,7 @@ import sys
 tmp = os.environ["TMP_DIR"]
 smoke = os.environ["SMOKE"] == "1"
 baseline_path = os.environ["BASELINE"]
+build_type = os.environ["BUILD_TYPE_RECORDED"].strip().lower()
 
 with open(os.path.join(tmp, "micro.json")) as f:
     micro = json.load(f)
@@ -95,7 +110,13 @@ result = {
     "context": {
         "date": micro.get("context", {}).get("date", ""),
         "num_cpus": micro.get("context", {}).get("num_cpus", 0),
-        "build_type": micro.get("context", {}).get("library_build_type", ""),
+        # CMAKE_BUILD_TYPE of this run's build tree. (The benchmark
+        # library's own build type is recorded separately: a system
+        # libbenchmark compiled as debug does not make *our* numbers
+        # debug numbers.)
+        "build_type": build_type,
+        "benchmark_library_build_type":
+            micro.get("context", {}).get("library_build_type", ""),
     },
     "benchmarks": {},
     "sweep_scaling": sweep,
@@ -131,6 +152,18 @@ try:
 except FileNotFoundError:
     print(f"bench: no baseline at {baseline_path}; run tools/bench.sh "
           "without --smoke first", file=sys.stderr)
+    sys.exit(1)
+
+# Comparing across build types is meaningless (a Release run trivially
+# "beats" a Debug baseline and hides real regressions; the reverse trips
+# the gate on every run). Refuse outright.
+baseline_type = baseline.get("context", {}).get("build_type", "").lower()
+if baseline_type != build_type:
+    print(f"bench: build-type mismatch: baseline was recorded with "
+          f"'{baseline_type or 'unknown'}' but this run built "
+          f"'{build_type}'. Regenerate the baseline with a full "
+          "tools/bench.sh run (same build type) before smoking.",
+          file=sys.stderr)
     sys.exit(1)
 
 failed = False

@@ -1,0 +1,91 @@
+// Ablation: recovery strategies under injected faults (the robustness
+// extension's headline table, docs/robustness.md).
+//
+// A scaled fault profile (DRAM jitter + refresh storms + dropped semaphore
+// posts) perturbs IMPACT-PnM on top of a fixed Poisson background load.
+// Three attacker strategies compete:
+//   * coded only   — Hamming(7,4), no feedback: residual errors survive,
+//   * framed only  — CRC-8 frames + ACK/NACK retransmission: zero residual
+//                    at the cost of retransmissions,
+//   * framed+coded — the inner code absorbs isolated flips so the framed
+//                    layer retries less often.
+#include <cstdio>
+
+#include "attacks/impact_pnm.hpp"
+#include "channel/coding.hpp"
+#include "channel/protocol.hpp"
+#include "fault/injector.hpp"
+#include "sys/noise.hpp"
+#include "sys/system.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace impact;
+  std::printf("=== bench_ablation_faults: recovery strategies under "
+              "injected faults ===\n\n");
+
+  util::Table table({"fault scale", "raw error", "H(7,4) residual",
+                     "framed goodput", "framed retx", "framed+H74 goodput",
+                     "framed+H74 retx", "residual BER"});
+
+  for (const double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    sys::SystemConfig config;
+    sys::MemorySystem system(config);
+    // Baseline perturbation: a fixed background load, so the fault scale
+    // is measured on top of realistic ambient traffic, not a silent box.
+    sys::NoiseConfig noise_config;
+    noise_config.accesses_per_kilocycle = 1.0;
+    sys::BackgroundNoise noise(noise_config, system, /*actor=*/42);
+    attacks::ImpactPnm attack(system);
+    attack.set_noise(&noise);
+    (void)attack.transmit(util::BitVec::alternating(16));  // Calibrate.
+
+    std::vector<fault::FaultConfig> faults = {
+        {fault::FaultKind::kDramJitter, 0.01 * scale, 400, 0, ~0ull},
+        {fault::FaultKind::kRefreshStorm, 0.005 * scale, 0, 0, ~0ull},
+        {fault::FaultKind::kSemaphoreDrop, 0.05 * scale, 0, 0, ~0ull},
+    };
+    fault::Injector injector(90210, faults);
+    system.set_fault_injector(&injector);
+
+    util::Xoshiro256 rng(51);
+    const auto message = util::BitVec::random(256, rng);
+
+    const auto coded = channel::transmit_coded(
+        attack, message, channel::CodeKind::kHamming74, config.frequency());
+
+    channel::ProtocolConfig framed_config;
+    framed_config.payload_bits = 16;
+    framed_config.max_retries = 16;
+    channel::FramedProtocol framed(attack, framed_config);
+    const auto framed_r = framed.send(message);
+
+    channel::ProtocolConfig both_config = framed_config;
+    both_config.code = channel::CodeKind::kHamming74;
+    channel::FramedProtocol both(attack, both_config);
+    const auto both_r = both.send(message);
+
+    const double residual_ber =
+        static_cast<double>(framed_r.residual_errors + both_r.residual_errors) /
+        static_cast<double>(2 * message.size());
+    table.add_row(
+        {util::Table::num(scale, 1),
+         util::Table::num(100.0 * framed_r.raw_error_rate(), 2) + "%",
+         std::to_string(coded.residual_errors),
+         util::Table::num(framed_r.goodput_mbps(config.frequency())) +
+             " Mb/s",
+         std::to_string(framed_r.retransmissions),
+         util::Table::num(both_r.goodput_mbps(config.frequency())) +
+             " Mb/s",
+         std::to_string(both_r.retransmissions),
+         util::Table::num(100.0 * residual_ber, 3) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Coding alone leaves residual errors once faults cluster; framing\n"
+      "alone recovers everything but pays a retransmission per corrupted\n"
+      "frame; the inner code under the framed layer absorbs isolated flips\n"
+      "and keeps the retry budget for the bursts.\n");
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include "attacks/impact_pnm.hpp"
 #include "cache/cache.hpp"
+#include "channel/protocol.hpp"
 #include "cache/hierarchy.hpp"
 #include "dram/controller.hpp"
 #include "pim/pei.hpp"
@@ -85,6 +86,32 @@ void BM_CovertChannelBit(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * 16));
 }
 BENCHMARK(BM_CovertChannelBit);
+
+void BM_ProtocolTransmit(benchmark::State& state) {
+  // The framed layer on a fault-free channel: BM_CovertChannelBit plus
+  // framing, CRC verification, and feedback accounting. The gap between
+  // the two is the protocol's pure overhead (acceptance bound: <= 10%).
+  sys::SystemConfig config;
+  sys::MemorySystem system(config);
+  attacks::ImpactPnm attack(system);
+  channel::ProtocolConfig protocol_config;
+  protocol_config.payload_bits = 16;
+  channel::FramedProtocol protocol(attack, protocol_config);
+  util::Xoshiro256 rng(7);
+  std::vector<util::BitVec> messages;
+  messages.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    messages.push_back(util::BitVec::random(16, rng));
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.send(messages[next]));
+    next = (next + 1) % messages.size();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 16));
+}
+BENCHMARK(BM_ProtocolTransmit);
 
 // --- Per-level microbenchmarks (PR 3): isolate the flat-layout fast
 // paths from the full-hierarchy composite above. ---

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "sys/sync.hpp"
 #include "util/assert.hpp"
 
@@ -68,6 +69,16 @@ void RowBufferChannelBase::calibrate() {
   threshold_ = cal.threshold();
 }
 
+util::Cycle RowBufferChannelBase::recalibrate() {
+  const util::Cycle before = std::max(sender_clock_, receiver_clock_);
+  if (!ready_) {
+    ensure_ready();  // First use: the lazy path already calibrates.
+  } else {
+    calibrate();
+  }
+  return std::max(sender_clock_, receiver_clock_) - before;
+}
+
 channel::TransmissionResult RowBufferChannelBase::transmit(
     const util::BitVec& message) {
   ensure_ready();
@@ -77,6 +88,8 @@ channel::TransmissionResult RowBufferChannelBase::transmit(
   result.sent = message;
   result.decoded = util::BitVec(message.size());
   last_latencies_.assign(message.size(), 0.0);
+  last_sync_timeouts_ = 0;
+  fault::Injector* faults = system_->fault_injector();
 
   sys::SimBarrier barrier;
   sys::SimSemaphore batches_ready;
@@ -112,11 +125,32 @@ channel::TransmissionResult RowBufferChannelBase::transmit(
         *std::max_element(worker_clocks.begin(), worker_clocks.end());
     if (threads > 1) sender_clock_ += config_.join_cost;
     sender_clock_ += config_.fence_cost;  // mfence before signalling.
-    batches_ready.post(sender_clock_);
+    if (faults == nullptr) {
+      batches_ready.post(sender_clock_);
+    } else if (!faults->drop_post(sender_clock_)) {
+      // A delayed post models the poster being descheduled between the
+      // store and the futex wake: delivery slips, the sender's own clock
+      // does not.
+      batches_ready.post(sender_clock_ + faults->post_delay(sender_clock_));
+    }
     if (noise_ != nullptr) noise_->advance(sender_clock_);
 
     // --- Receiver: probe the batch the sender just signalled. ---------
-    receiver_clock_ = batches_ready.wait(receiver_clock_);
+    // Bounded wait: a dropped post must not deadlock (or abort) the
+    // receiver. On timeout it resynchronizes by probing anyway — in
+    // program order the sender has already written this batch's bank
+    // state, so the bits are usually still recoverable; what the fault
+    // costs is the timeout itself plus any overlap mistiming, which the
+    // framed protocol layer detects per frame via CRC.
+    const auto wait = batches_ready.wait_until(
+        receiver_clock_, receiver_clock_ + config_.wait_timeout);
+    receiver_clock_ = wait.now;
+    if (!wait.acquired()) ++last_sync_timeouts_;
+    if (faults != nullptr) {
+      // Receiver-side clock drift (DVFS, SMIs, timer skew): the probe
+      // schedule slides relative to the sender's batches.
+      receiver_clock_ += faults->clock_drift(receiver_clock_);
+    }
     const std::uint32_t rthreads = std::max(1u, config_.receiver_threads);
     std::vector<util::Cycle> probe_clocks(rthreads, receiver_clock_);
     for (std::size_t i = next_receive; i < batch_end; ++i) {

@@ -51,6 +51,13 @@ struct RowChannelConfig {
   std::uint32_t receiver_threads = 1;
   /// Fork/join cost per batch when a side uses multiple threads.
   util::Cycle join_cost = 20;
+  /// Receiver-side bound on one batch wait (sem_timedwait deadline). When
+  /// a post never arrives — only possible under injected semaphore-drop
+  /// faults — the receiver gives up after this many cycles and probes the
+  /// batch anyway (bank state is already written by then), instead of the
+  /// process aborting on a missed post. Fault-free runs always find the
+  /// post pending, so the value never changes their timing.
+  util::Cycle wait_timeout = 20000;
 };
 
 class RowBufferChannelBase : public channel::CovertAttack {
@@ -73,6 +80,16 @@ class RowBufferChannelBase : public channel::CovertAttack {
   /// actors so its DRAM traffic interleaves with the channel's. The noise
   /// object must outlive the attack. Pass nullptr to detach.
   void set_noise(sys::BackgroundNoise* noise) { noise_ = noise; }
+
+  /// Re-runs threshold calibration against the channel's current state —
+  /// the recovery action when the framed protocol's drift detector trips.
+  util::Cycle recalibrate() override;
+
+  /// Batch waits that timed out (receiver resynchronized itself) during
+  /// the last transmit(). Nonzero only under semaphore-drop faults.
+  [[nodiscard]] std::size_t last_sync_timeouts() const {
+    return last_sync_timeouts_;
+  }
 
  protected:
   /// One-time setup: map per-bank rows, warm structures.
@@ -116,6 +133,7 @@ class RowBufferChannelBase : public channel::CovertAttack {
   sys::BackgroundNoise* noise_ = nullptr;
   util::Cycle sender_clock_ = 0;
   util::Cycle receiver_clock_ = 0;
+  std::size_t last_sync_timeouts_ = 0;
 };
 
 }  // namespace impact::attacks

@@ -66,6 +66,16 @@ void ImpactPum::calibrate() {
   threshold_ = cal.threshold();
 }
 
+util::Cycle ImpactPum::recalibrate() {
+  const util::Cycle before = std::max(sender_clock_, receiver_clock_);
+  if (!ready_) {
+    ensure_ready();
+  } else {
+    calibrate();
+  }
+  return std::max(sender_clock_, receiver_clock_) - before;
+}
+
 channel::TransmissionResult ImpactPum::transmit(
     const util::BitVec& message) {
   ensure_ready();

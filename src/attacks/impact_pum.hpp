@@ -43,6 +43,9 @@ class ImpactPum final : public channel::CovertAttack {
 
   channel::TransmissionResult transmit(const util::BitVec& message) override;
 
+  /// Re-runs threshold calibration (framed-protocol drift recovery).
+  util::Cycle recalibrate() override;
+
   [[nodiscard]] double threshold() const { return threshold_; }
   [[nodiscard]] const std::vector<double>& last_latencies() const {
     return last_latencies_;

@@ -24,6 +24,12 @@ class CovertAttack {
   /// must be reusable: consecutive calls transmit independent messages.
   virtual TransmissionResult transmit(const util::BitVec& message) = 0;
 
+  /// Re-runs the attack's threshold calibration (e.g. after a drift
+  /// detector trips in the framed protocol layer) and returns the cycles
+  /// both actors spent doing so. Attacks without an adaptive threshold
+  /// return 0 and do nothing.
+  virtual util::Cycle recalibrate() { return 0; }
+
   /// Convenience: transmits `messages` random messages of `bits` bits and
   /// returns the aggregate report.
   ChannelReport measure(std::size_t bits, std::size_t messages,

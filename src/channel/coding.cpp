@@ -13,9 +13,12 @@ util::BitVec encode_repetition(const util::BitVec& message, std::size_t r) {
   return out;
 }
 
-util::BitVec decode_repetition(const util::BitVec& coded, std::size_t r) {
-  util::check(r >= 1 && coded.size() % r == 0,
-              "coded length must be a multiple of r");
+std::optional<util::BitVec> try_decode_repetition(const util::BitVec& coded,
+                                                  std::size_t r) {
+  // An even factor makes the majority vote ambiguous (ones * 2 == r), and
+  // a trailing partial block would silently mis-decode — both are rejected
+  // up front rather than producing plausible-looking garbage.
+  if (r < 1 || r % 2 == 0 || coded.size() % r != 0) return std::nullopt;
   util::BitVec out;
   for (std::size_t i = 0; i < coded.size(); i += r) {
     std::size_t ones = 0;
@@ -23,6 +26,14 @@ util::BitVec decode_repetition(const util::BitVec& coded, std::size_t r) {
     out.push_back(ones * 2 > r);
   }
   return out;
+}
+
+util::BitVec decode_repetition(const util::BitVec& coded, std::size_t r) {
+  util::check(r >= 1 && r % 2 == 1,
+              "decode_repetition: repetition factor must be odd");
+  util::check(coded.size() % r == 0,
+              "decode_repetition: coded length must be a multiple of r");
+  return *try_decode_repetition(coded, r);
 }
 
 namespace {
@@ -67,11 +78,20 @@ util::BitVec encode_hamming74(const util::BitVec& message) {
   return out;
 }
 
+std::optional<util::BitVec> try_decode_hamming74(const util::BitVec& coded,
+                                                 std::size_t bits) {
+  if (coded.size() % 7 != 0 || coded.size() / 7 * 4 < bits) {
+    return std::nullopt;
+  }
+  return decode_hamming74(coded, bits);
+}
+
 util::BitVec decode_hamming74(const util::BitVec& coded, std::size_t bits) {
   util::check(coded.size() % 7 == 0,
-              "Hamming(7,4) coded length must be a multiple of 7");
+              "decode_hamming74: coded length must be a multiple of 7");
   util::check(coded.size() / 7 * 4 >= bits,
-              "coded stream shorter than the requested message");
+              "decode_hamming74: coded stream shorter than the requested "
+              "message");
   util::BitVec out;
   for (std::size_t i = 0; i < coded.size() && out.size() < bits; i += 7) {
     bool c[7];

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "channel/attack.hpp"
 #include "util/bitvec.hpp"
@@ -21,9 +22,16 @@ namespace impact::channel {
 [[nodiscard]] util::BitVec encode_repetition(const util::BitVec& message,
                                              std::size_t r);
 
-/// Majority decode; `coded.size()` must be a multiple of `r`.
+/// Majority decode; `r` must be odd and `coded.size()` a multiple of `r`.
+/// Throws std::invalid_argument on malformed input.
 [[nodiscard]] util::BitVec decode_repetition(const util::BitVec& coded,
                                              std::size_t r);
+
+/// Non-throwing variant: nullopt on malformed input (even/zero `r`, or a
+/// coded length that is not a multiple of `r`). Protocol layers use this so
+/// a garbled wire frame degrades into a retransmission, never an exception.
+[[nodiscard]] std::optional<util::BitVec> try_decode_repetition(
+    const util::BitVec& coded, std::size_t r);
 
 // --- Hamming(7,4) --------------------------------------------------------
 
@@ -32,9 +40,15 @@ namespace impact::channel {
 [[nodiscard]] util::BitVec encode_hamming74(const util::BitVec& message);
 
 /// Decodes, correcting up to one flipped bit per 7-bit block. `bits` is
-/// the original message length.
+/// the original message length. Throws std::invalid_argument on malformed
+/// input (length not a multiple of 7, or `bits` exceeding the decodable
+/// payload).
 [[nodiscard]] util::BitVec decode_hamming74(const util::BitVec& coded,
                                             std::size_t bits);
+
+/// Non-throwing variant: nullopt on malformed input.
+[[nodiscard]] std::optional<util::BitVec> try_decode_hamming74(
+    const util::BitVec& coded, std::size_t bits);
 
 // --- Coded transmission ----------------------------------------------------
 

@@ -1,0 +1,220 @@
+#include "channel/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace impact::channel {
+
+std::uint8_t crc8(const util::BitVec& bits, std::size_t begin,
+                  std::size_t end) {
+  util::check(begin <= end && end <= bits.size(),
+              "crc8: bit range out of bounds");
+  // Bitwise CRC-8/ATM: x^8 + x^2 + x + 1. Processing bit-at-a-time keeps
+  // the code independent of byte packing (messages are bit streams here).
+  std::uint8_t crc = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint8_t in = bits.get(i) ? 0x80u : 0u;
+    crc = static_cast<std::uint8_t>(crc ^ in);
+    crc = static_cast<std::uint8_t>((crc & 0x80u) != 0
+                                        ? (crc << 1) ^ 0x07u
+                                        : crc << 1);
+  }
+  return crc;
+}
+
+FramedProtocol::FramedProtocol(CovertAttack& attack, ProtocolConfig config)
+    : attack_(&attack), config_(config) {
+  util::check(config_.payload_bits > 0,
+              "ProtocolConfig: payload must hold at least one bit");
+  util::check(config_.preamble_bits >= 2,
+              "ProtocolConfig: preamble needs at least the 11 terminator");
+  util::check(config_.seq_bits >= 1 && config_.seq_bits <= 16,
+              "ProtocolConfig: seq_bits must be in [1,16]");
+  util::check(config_.preamble_tolerance < config_.preamble_bits,
+              "ProtocolConfig: preamble tolerance must leave sync bits");
+}
+
+namespace {
+
+/// Preamble pattern: alternating 1 0 1 0 ... terminated by 1 1. The
+/// terminator breaks the alternation, marking where the header begins.
+bool preamble_bit(std::size_t i, std::size_t n) {
+  if (i + 2 >= n) return true;  // Last two bits.
+  return i % 2 == 0;
+}
+
+}  // namespace
+
+util::BitVec FramedProtocol::build_frame(std::size_t seq,
+                                         const util::BitVec& message,
+                                         std::size_t base,
+                                         std::size_t len) const {
+  util::BitVec frame;
+  for (std::size_t i = 0; i < config_.preamble_bits; ++i) {
+    frame.push_back(preamble_bit(i, config_.preamble_bits));
+  }
+  const std::size_t header_begin = frame.size();
+  for (std::size_t i = 0; i < config_.seq_bits; ++i) {
+    frame.push_back(((seq >> i) & 1u) != 0);  // LSB-first.
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    frame.push_back(message.get(base + i));
+  }
+  const std::uint8_t crc = crc8(frame, header_begin, frame.size());
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame.push_back(((crc >> i) & 1u) != 0);
+  }
+  return frame;
+}
+
+bool FramedProtocol::parse_frame(const util::BitVec& wire, std::size_t seq,
+                                 std::size_t len,
+                                 util::BitVec& payload) const {
+  const std::size_t expected =
+      config_.preamble_bits + config_.seq_bits + len + 8;
+  if (wire.size() != expected) return false;
+
+  // Frame sync: the preamble must match within the configured tolerance.
+  std::size_t preamble_errors = 0;
+  for (std::size_t i = 0; i < config_.preamble_bits; ++i) {
+    if (wire.get(i) != preamble_bit(i, config_.preamble_bits)) {
+      ++preamble_errors;
+    }
+  }
+  if (preamble_errors > config_.preamble_tolerance) return false;
+
+  // Integrity: CRC over seq + payload, then the sequence number itself
+  // (a stale or duplicated frame fails here even with a valid CRC).
+  const std::size_t header_begin = config_.preamble_bits;
+  const std::size_t crc_begin = header_begin + config_.seq_bits + len;
+  const std::uint8_t computed = crc8(wire, header_begin, crc_begin);
+  std::uint8_t received = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (wire.get(crc_begin + i)) {
+      received = static_cast<std::uint8_t>(received | (1u << i));
+    }
+  }
+  if (computed != received) return false;
+
+  const std::size_t seq_mask = (std::size_t{1} << config_.seq_bits) - 1;
+  std::size_t got_seq = 0;
+  for (std::size_t i = 0; i < config_.seq_bits; ++i) {
+    if (wire.get(header_begin + i)) got_seq |= std::size_t{1} << i;
+  }
+  if (got_seq != (seq & seq_mask)) return false;
+
+  payload = util::BitVec(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    payload.set(i, wire.get(header_begin + config_.seq_bits + i));
+  }
+  return true;
+}
+
+ProtocolResult FramedProtocol::send(const util::BitVec& message) {
+  util::check(!message.empty(), "FramedProtocol::send: empty message");
+
+  ProtocolResult r;
+  r.decoded = util::BitVec(message.size());
+  r.frames = (message.size() + config_.payload_bits - 1) /
+             config_.payload_bits;
+
+  std::size_t consecutive_failures = 0;
+  for (std::size_t f = 0; f < r.frames; ++f) {
+    const std::size_t base = f * config_.payload_bits;
+    const std::size_t len =
+        std::min(config_.payload_bits, message.size() - base);
+    const util::BitVec frame = build_frame(f, message, base, len);
+
+    util::BitVec wire;
+    switch (config_.code) {
+      case CodeKind::kNone:
+        wire = frame;
+        break;
+      case CodeKind::kRepetition3:
+        wire = encode_repetition(frame, 3);
+        break;
+      case CodeKind::kHamming74:
+        wire = encode_hamming74(frame);
+        break;
+    }
+
+    bool delivered = false;
+    util::BitVec best_effort;  // Last attempt's payload, for failed frames.
+    const std::size_t attempts = 1 + config_.max_retries;
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      const auto tx = attack_->transmit(wire);
+      ++r.transmissions;
+      r.channel_bits += tx.sent.size();
+      r.channel_bit_errors += tx.sent.hamming_distance(tx.decoded);
+      r.elapsed_cycles += tx.report.elapsed_cycles;
+      // One ACK or NACK per attempt over the backward channel.
+      r.elapsed_cycles += config_.feedback_cycles;
+
+      // Undo the inner code. The try_* decoders cannot fail here (sizes
+      // are ours), but a defensive nullopt degrades into a NACK.
+      util::BitVec received;
+      bool decodable = true;
+      switch (config_.code) {
+        case CodeKind::kNone:
+          received = tx.decoded;
+          break;
+        case CodeKind::kRepetition3: {
+          auto d = try_decode_repetition(tx.decoded, 3);
+          decodable = d.has_value();
+          if (decodable) received = std::move(*d);
+          break;
+        }
+        case CodeKind::kHamming74: {
+          auto d = try_decode_hamming74(tx.decoded, frame.size());
+          decodable = d.has_value();
+          if (decodable) received = std::move(*d);
+          break;
+        }
+      }
+
+      util::BitVec payload;
+      if (decodable && parse_frame(received, f, len, payload)) {
+        for (std::size_t i = 0; i < len; ++i) {
+          r.decoded.set(base + i, payload.get(i));
+        }
+        delivered = true;
+        consecutive_failures = 0;
+        break;
+      }
+
+      // NACK path: remember the best-effort payload, count the failure,
+      // and let the drift detector decide whether the channel itself (not
+      // just this frame) has gone bad.
+      if (decodable && received.size() >= config_.preamble_bits +
+                                              config_.seq_bits + len) {
+        best_effort = util::BitVec(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          best_effort.set(
+              i, received.get(config_.preamble_bits + config_.seq_bits + i));
+        }
+      }
+      ++consecutive_failures;
+      if (config_.recalibrate_after > 0 &&
+          consecutive_failures >= config_.recalibrate_after) {
+        r.elapsed_cycles += attack_->recalibrate();
+        ++r.recalibrations;
+        consecutive_failures = 0;
+      }
+      if (attempt + 1 < attempts) ++r.retransmissions;
+    }
+
+    if (!delivered) {
+      ++r.failed_frames;
+      for (std::size_t i = 0; i < best_effort.size(); ++i) {
+        r.decoded.set(base + i, best_effort.get(i));
+      }
+    }
+  }
+
+  r.complete = r.failed_frames == 0;
+  r.residual_errors = message.hamming_distance(r.decoded);
+  return r;
+}
+
+}  // namespace impact::channel

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/protocol_checker.hpp"
+#include "fault/injector.hpp"
 #include "util/assert.hpp"
 
 namespace impact::dram {
@@ -57,6 +58,12 @@ AccessResult MemoryController::access_row(BankId bank, RowId row,
               "MemoryController: bank partition violation");
   const util::Cycle issued = now;
   const util::Cycle at_bank = now + issue_overhead_;
+  if (faults_ != nullptr && faults_->refresh_storm(at_bank)) {
+    // A refresh burst hits the bank just before the access: the row buffer
+    // is precharged, turning would-be hits into empty activations (and
+    // destroying the row-buffer state covert channels signal through).
+    bank_for(bank).precharge(at_bank);
+  }
   const BankAccessResult r = bank_for(bank).access(row, at_bank);
   AccessResult out;
   out.bank = bank;
@@ -64,6 +71,15 @@ AccessResult MemoryController::access_row(BankId bank, RowId row,
   out.completion = r.completion;
   out.ack = r.ack;
   out.latency = r.completion - issued;
+  if (faults_ != nullptr) {
+    // Controller/bus-side jitter (ECC retries, command-bus contention):
+    // the issuer observes extra latency; the bank's own timing state is
+    // untouched, so the protocol checker's invariants still hold.
+    const util::Cycle jitter = faults_->access_jitter(at_bank);
+    out.latency += jitter;
+    out.completion += jitter;
+    out.ack += jitter;
+  }
   return out;
 }
 
@@ -85,6 +101,22 @@ void MemoryController::rowclone_into(std::span<const RowCloneLeg> legs,
   util::Cycle max_completion = 0;
   util::Cycle max_ack = 0;
   for (const auto& leg : legs) {
+    if (faults_ != nullptr && faults_->drop_rowclone_leg(at_bank)) {
+      // The leg silently fails: no activations reach the bank, the data is
+      // not copied, and the destination row buffer stays undisturbed — the
+      // RowClone-level bit flip of the PuM channel. The leg still reports
+      // an (instant) acknowledgement, as a real controller would.
+      AccessResult a;
+      a.bank = leg.bank;
+      a.outcome = RowBufferOutcome::kEmpty;
+      a.completion = at_bank;
+      a.ack = at_bank;
+      a.latency = at_bank - issued;
+      max_completion = std::max(max_completion, a.completion);
+      max_ack = std::max(max_ack, a.ack);
+      out.legs.push_back(a);
+      continue;
+    }
     const BankAccessResult r = bank_for(leg.bank).rowclone(leg.src, leg.dst,
                                                            at_bank);
     if (data_) data_->clone_row(leg.bank, leg.src, leg.dst);

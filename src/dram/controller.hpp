@@ -27,6 +27,10 @@ namespace impact::check {
 class ProtocolChecker;
 }  // namespace impact::check
 
+namespace impact::fault {
+class Injector;
+}  // namespace impact::fault
+
 namespace impact::dram {
 
 /// Identifies a simulated security principal (process) for partitioning.
@@ -143,6 +147,16 @@ class MemoryController {
   /// The auto-attached checker, or nullptr when disabled/replaced.
   [[nodiscard]] check::ProtocolChecker* checker() { return checker_.get(); }
 
+  // --- Fault injection --------------------------------------------------
+  /// Attaches a fault injector (nullptr detaches; non-owning — usually set
+  /// through sys::MemorySystem::set_fault_injector). When attached, the
+  /// access path consults it for refresh storms and latency jitter, and the
+  /// RowClone path for dropped legs. The detached configuration pays one
+  /// predictable branch per access, keeping fault-free runs bit-identical
+  /// to an injector-free build.
+  void set_fault_injector(fault::Injector* injector) { faults_ = injector; }
+  [[nodiscard]] fault::Injector* fault_injector() { return faults_; }
+
  private:
   /// Flat bank lookup on the per-access path: one range check (no message
   /// materialization on success) and a direct index.
@@ -170,6 +184,7 @@ class MemoryController {
   std::uint64_t partition_faults_ = 0;
   std::optional<DataArray> data_;
   std::unique_ptr<check::ProtocolChecker> checker_;
+  fault::Injector* faults_ = nullptr;
 };
 
 }  // namespace impact::dram

@@ -1,13 +1,24 @@
 #include "exec/sweep.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <thread>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace impact::exec {
+
+std::string RunReport::summary() const {
+  std::string s = std::to_string(completed) + "/" + std::to_string(tasks) +
+                  " tasks completed";
+  s += ", " + std::to_string(failed) + " failed";
+  s += ", " + std::to_string(skipped) + " skipped";
+  s += ", " + std::to_string(retries) + " retries";
+  return s;
+}
 
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index) {
   // Golden-ratio spacing keeps distinct indices distinct before the
@@ -112,6 +123,157 @@ void Sweep::run() {
     state.done_cv.wait(lock, [&] { return state.remaining == 0; });
     if (state.first_error) std::rethrow_exception(state.first_error);
   }
+}
+
+namespace {
+
+struct Attempt {
+  bool ok = false;
+  std::size_t attempts = 0;
+  std::string message;
+};
+
+/// Runs `fn` under the retry policy. TransientError always re-tries while
+/// budget remains; other exceptions re-try only under `retry_all`.
+Attempt run_with_retries(const std::function<void()>& fn,
+                         const RetryPolicy& policy) {
+  const std::size_t budget = std::max<std::size_t>(1, policy.max_attempts);
+  auto delay = policy.backoff_base;
+  Attempt out;
+  for (std::size_t attempt = 1; attempt <= budget; ++attempt) {
+    out.attempts = attempt;
+    try {
+      fn();
+      out.ok = true;
+      return out;
+    } catch (const TransientError& e) {
+      out.message = e.what();
+    } catch (const std::exception& e) {
+      out.message = e.what();
+      if (!policy.retry_all) return out;
+    } catch (...) {
+      out.message = "non-standard exception";
+      if (!policy.retry_all) return out;
+    }
+    if (attempt < budget && delay.count() > 0) {
+      std::this_thread::sleep_for(delay);
+      delay = std::min(policy.backoff_cap, delay * 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunReport Sweep::run_resilient(const RetryPolicy& policy) {
+  RunReport report;
+  report.tasks = tasks_.size();
+  if (tasks_.empty()) return report;
+
+  if (pool_ == nullptr || pool_->size() <= 1) {
+    std::vector<bool> failed(tasks_.size(), false);
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      bool dep_failed = false;
+      for (const TaskId d : tasks_[id].deps) {
+        dep_failed = dep_failed || failed[d];
+      }
+      if (dep_failed) {
+        failed[id] = true;
+        ++report.skipped;
+        report.errors.push_back(CellError{id, tasks_[id].label, 0, true,
+                                          "skipped: dependency failed"});
+        continue;
+      }
+      const Attempt a = run_with_retries(tasks_[id].fn, policy);
+      report.retries += a.attempts - 1;
+      if (a.ok) {
+        ++report.completed;
+      } else {
+        failed[id] = true;
+        ++report.failed;
+        report.errors.push_back(
+            CellError{id, tasks_[id].label, a.attempts, false, a.message});
+      }
+    }
+    return report;
+  }
+
+  // Parallel mode: same scheduler as run(), but a failure poisons only the
+  // failing task's transitive dependents — everything else keeps running.
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<std::size_t> unmet;
+    std::vector<std::vector<TaskId>> dependents;
+    std::vector<bool> failed;
+    std::size_t remaining = 0;
+  } state;
+
+  state.unmet.assign(tasks_.size(), 0);
+  state.dependents.assign(tasks_.size(), {});
+  state.failed.assign(tasks_.size(), false);
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    state.unmet[id] = tasks_[id].deps.size();
+    for (const TaskId d : tasks_[id].deps) {
+      state.dependents[d].push_back(id);
+    }
+  }
+  state.remaining = tasks_.size();
+
+  std::function<void(TaskId)> execute = [&](TaskId id) {
+    bool dep_failed = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      for (const TaskId d : tasks_[id].deps) {
+        dep_failed = dep_failed || state.failed[d];
+      }
+    }
+    Attempt a;
+    if (!dep_failed) a = run_with_retries(tasks_[id].fn, policy);
+
+    std::vector<TaskId> ready;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (dep_failed) {
+        state.failed[id] = true;
+        ++report.skipped;
+        report.errors.push_back(CellError{id, tasks_[id].label, 0, true,
+                                          "skipped: dependency failed"});
+      } else {
+        report.retries += a.attempts - 1;
+        if (a.ok) {
+          ++report.completed;
+        } else {
+          state.failed[id] = true;
+          ++report.failed;
+          report.errors.push_back(CellError{id, tasks_[id].label,
+                                            a.attempts, false, a.message});
+        }
+      }
+      for (const TaskId dep : state.dependents[id]) {
+        if (--state.unmet[dep] == 0) ready.push_back(dep);
+      }
+      if (--state.remaining == 0) state.done_cv.notify_all();
+    }
+    for (const TaskId r : ready) {
+      (void)pool_->submit([&execute, r] { execute(r); });
+    }
+  };
+
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].deps.empty()) {
+      (void)pool_->submit([&execute, id] { execute(id); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&] { return state.remaining == 0; });
+  }
+  std::sort(report.errors.begin(), report.errors.end(),
+            [](const CellError& a, const CellError& b) {
+              return a.task < b.task;
+            });
+  return report;
 }
 
 }  // namespace impact::exec

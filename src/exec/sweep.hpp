@@ -14,16 +14,60 @@
 // deterministically, so a parallel sweep reproduces the serial one.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
 
 namespace impact::exec {
+
+/// Thrown by a task to signal a failure worth retrying (an injected fault,
+/// a flaky resource). `run_resilient` retries these up to the policy's
+/// attempt budget; any other exception type fails the cell on the first
+/// throw unless the policy opts into `retry_all`.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Retry behaviour for `Sweep::run_resilient`. Backoff doubles per retry
+/// from `backoff_base` up to `backoff_cap`; the defaults keep tests fast
+/// while still exercising the capped-exponential schedule.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< Total tries per task (minimum 1).
+  std::chrono::microseconds backoff_base{100};
+  std::chrono::microseconds backoff_cap{100000};
+  bool retry_all = false;  ///< Also retry non-TransientError exceptions.
+};
+
+/// One failing (or skipped) cell of a resilient sweep run.
+struct CellError {
+  std::size_t task = 0;
+  std::string label;
+  std::size_t attempts = 0;  ///< 0 when the task was never attempted.
+  bool skipped = false;      ///< True: a dependency failed upstream.
+  std::string message;       ///< what() of the final failure.
+};
+
+/// Outcome of `Sweep::run_resilient`: every cell is accounted for exactly
+/// once as completed, failed, or skipped.
+struct RunReport {
+  std::size_t tasks = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  std::size_t retries = 0;  ///< Extra attempts beyond the first, summed.
+  std::vector<CellError> errors;  ///< Failed + skipped cells, by task id.
+
+  [[nodiscard]] bool ok() const { return failed == 0 && skipped == 0; }
+  [[nodiscard]] std::string summary() const;
+};
 
 /// Seed for task `task_index` of a sweep seeded with `base_seed`.
 /// Implemented on util::Xoshiro256 (whose splitmix64 reseed provides the
@@ -50,6 +94,13 @@ class Sweep {
   /// task exception is rethrown after all started tasks finish; tasks not
   /// yet started when an error surfaces are skipped (their dependents too).
   void run();
+
+  /// Fault-tolerant execution: each task is retried per `policy` (capped
+  /// exponential backoff between attempts), a task that exhausts its
+  /// budget records a CellError instead of aborting the sweep, and only
+  /// its dependents are skipped — every independent cell still completes.
+  /// Never throws from task failures; returns the full accounting.
+  RunReport run_resilient(const RetryPolicy& policy = {});
 
  private:
   struct Task {

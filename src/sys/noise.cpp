@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/assert.hpp"
+
 namespace impact::sys {
 
 BackgroundNoise::BackgroundNoise(NoiseConfig config, MemorySystem& system,
@@ -15,6 +17,9 @@ BackgroundNoise::BackgroundNoise(NoiseConfig config, MemorySystem& system,
 }
 
 void BackgroundNoise::advance(util::Cycle upto) {
+  util::check(upto >= frontier_,
+              "BackgroundNoise::advance: frontier must not rewind");
+  frontier_ = upto;
   if (config_.accesses_per_kilocycle <= 0.0) return;
   const double mean_gap = 1000.0 / config_.accesses_per_kilocycle;
   while (next_event_ <= upto) {

@@ -28,9 +28,14 @@ class BackgroundNoise {
   BackgroundNoise(NoiseConfig config, MemorySystem& system,
                   dram::ActorId actor);
 
-  /// Issues the noise accesses scheduled in (last_advance, upto]; call
-  /// with a monotonically increasing frontier.
+  /// Issues the noise accesses scheduled in (last_advance, upto]. The
+  /// frontier must be monotonically non-decreasing: a rewound `upto`
+  /// throws a recoverable std::invalid_argument (the process state is
+  /// untouched) instead of silently skipping the interval.
   void advance(util::Cycle upto);
+
+  /// Highest frontier advance() has been driven to so far.
+  [[nodiscard]] util::Cycle frontier() const { return frontier_; }
 
   [[nodiscard]] std::uint64_t accesses_issued() const { return issued_; }
 
@@ -41,6 +46,7 @@ class BackgroundNoise {
   util::Xoshiro256 rng_;
   VSpan span_{};
   util::Cycle next_event_ = 0;
+  util::Cycle frontier_ = 0;
   std::uint64_t issued_ = 0;
 };
 

@@ -14,6 +14,22 @@
 
 namespace impact::sys {
 
+/// Outcome of a bounded semaphore wait.
+enum class WaitStatus : std::uint8_t {
+  kAcquired,  ///< A post was consumed.
+  kTimedOut,  ///< No post arrived by the deadline; nothing was consumed.
+};
+
+/// A bounded wait's status plus the waiter's clock after the operation.
+struct WaitResult {
+  WaitStatus status = WaitStatus::kAcquired;
+  util::Cycle now = 0;
+
+  [[nodiscard]] bool acquired() const {
+    return status == WaitStatus::kAcquired;
+  }
+};
+
 /// POSIX-like counting semaphore over simulated time.
 class SimSemaphore {
  public:
@@ -32,12 +48,33 @@ class SimSemaphore {
 
   /// Acquires one unit: returns the waiter's clock after the wait (at least
   /// `now` + cost; later if it must block until the matching post).
+  ///
+  /// Throws when no post is pending — a missed post would deadlock a real
+  /// unbounded sem_wait. Callers that must survive a lost post (the covert
+  /// channels under fault injection) use `wait_until` instead.
   util::Cycle wait(util::Cycle now) {
     util::check(!posts_.empty(),
                 "SimSemaphore::wait would deadlock: no pending post");
     const util::Cycle available = posts_.front();
     posts_.pop_front();
     return std::max(now, available) + op_cost_;
+  }
+
+  /// Bounded wait (sem_timedwait): acquires the front post if it is (or
+  /// becomes) available by `deadline`; otherwise the waiter spins until the
+  /// deadline and gives up without consuming anything — a post released
+  /// after the deadline stays pending for the next wait. `deadline` must
+  /// not precede `now`.
+  [[nodiscard]] WaitResult wait_until(util::Cycle now, util::Cycle deadline) {
+    util::check(deadline >= now,
+                "SimSemaphore::wait_until: deadline precedes now");
+    if (posts_.empty() || posts_.front() > deadline) {
+      return WaitResult{WaitStatus::kTimedOut, deadline + op_cost_};
+    }
+    const util::Cycle available = posts_.front();
+    posts_.pop_front();
+    return WaitResult{WaitStatus::kAcquired,
+                      std::max(now, available) + op_cost_};
   }
 
   [[nodiscard]] std::size_t value() const { return posts_.size(); }

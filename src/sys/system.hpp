@@ -25,6 +25,10 @@
 #include "sys/tlb.hpp"
 #include "sys/vmem.hpp"
 
+namespace impact::fault {
+class Injector;
+}  // namespace impact::fault
+
 namespace impact::sys {
 
 struct DmaConfig {
@@ -79,6 +83,17 @@ class MemorySystem {
   /// Per-process CPU-side structures (created on first use).
   cache::Hierarchy& hierarchy(dram::ActorId actor);
   Tlb& tlb(dram::ActorId actor);
+
+  /// Attaches a fault injector to this system and its controller (nullptr
+  /// detaches; non-owning — the injector must outlive the system or be
+  /// detached first). DRAM-level faults fire inside the controller; actor-
+  /// level faults (semaphore drop/delay, clock drift) are consulted by the
+  /// channel drivers via fault_injector().
+  void set_fault_injector(fault::Injector* injector) {
+    faults_ = injector;
+    controller_.set_fault_injector(injector);
+  }
+  [[nodiscard]] fault::Injector* fault_injector() { return faults_; }
 
   /// Mid-run protocol audit: reconciles every bank's BankStats against the
   /// command stream observed by the auto-attached protocol checker
@@ -135,6 +150,7 @@ class MemorySystem {
   VirtualMemory vmem_;
   Timestamp timestamp_;
   std::unordered_map<dram::ActorId, std::unique_ptr<CpuContext>> contexts_;
+  fault::Injector* faults_ = nullptr;
 };
 
 }  // namespace impact::sys

@@ -1,0 +1,335 @@
+// Framed-protocol tests: CRC-8 properties, frame construction/validation,
+// lossless and lossy transfers over a scriptable mock channel, bounded
+// retransmission, drift-triggered recalibration, hardened decoder inputs,
+// and end-to-end recovery over the real IMPACT channels under injected
+// faults (the PR's acceptance scenario: >=1% flipped channel bits plus
+// dropped semaphore posts, zero residual BER, no aborts).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "attacks/impact_pnm.hpp"
+#include "attacks/impact_pum.hpp"
+#include "channel/attack.hpp"
+#include "channel/coding.hpp"
+#include "channel/protocol.hpp"
+#include "fault/injector.hpp"
+#include "sys/system.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace impact::channel {
+namespace {
+
+// --- CRC-8 ----------------------------------------------------------------
+
+TEST(Crc8, DeterministicAndSensitiveToEveryBit) {
+  util::Xoshiro256 rng(3);
+  const auto bits = util::BitVec::random(64, rng);
+  const auto base = crc8(bits, 0, bits.size());
+  EXPECT_EQ(base, crc8(bits, 0, bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto flipped = bits;
+    flipped.set(i, !flipped.get(i));
+    EXPECT_NE(crc8(flipped, 0, flipped.size()), base) << "bit " << i;
+  }
+}
+
+TEST(Crc8, EmptyRangeIsZeroAndBadRangeThrows) {
+  const auto bits = util::BitVec(16, true);
+  EXPECT_EQ(crc8(bits, 4, 4), 0u);
+  EXPECT_THROW((void)crc8(bits, 0, 17), std::invalid_argument);
+  EXPECT_THROW((void)crc8(bits, 9, 8), std::invalid_argument);
+}
+
+// --- Scriptable mock channel ----------------------------------------------
+
+/// A channel whose per-transmission corruption is scripted by the test:
+/// `corrupt(wire, attempt)` returns what the receiver decodes.
+class ScriptedChannel final : public CovertAttack {
+ public:
+  using Corruptor = std::function<util::BitVec(const util::BitVec&,
+                                               std::size_t attempt)>;
+
+  explicit ScriptedChannel(Corruptor corrupt)
+      : corrupt_(std::move(corrupt)) {}
+
+  [[nodiscard]] std::string name() const override { return "scripted"; }
+
+  TransmissionResult transmit(const util::BitVec& message) override {
+    TransmissionResult r;
+    r.sent = message;
+    r.decoded = corrupt_(message, transmissions_);
+    ++transmissions_;
+    r.report.elapsed_cycles = 100 * message.size();
+    score(r);
+    return r;
+  }
+
+  util::Cycle recalibrate() override {
+    ++recalibrations;
+    return 5000;
+  }
+
+  std::size_t transmissions() const { return transmissions_; }
+  std::size_t recalibrations = 0;
+
+ private:
+  Corruptor corrupt_;
+  std::size_t transmissions_ = 0;
+};
+
+util::BitVec flip_bits(util::BitVec wire,
+                       std::initializer_list<std::size_t> positions) {
+  for (const auto p : positions) wire.set(p, !wire.get(p));
+  return wire;
+}
+
+// --- Clean-channel behaviour ----------------------------------------------
+
+TEST(FramedProtocol, CleanChannelDeliversEveryFrameOnce) {
+  ScriptedChannel channel([](const util::BitVec& w, std::size_t) {
+    return w;
+  });
+  FramedProtocol protocol(channel);
+  util::Xoshiro256 rng(5);
+  const auto msg = util::BitVec::random(100, rng);  // 4 frames, last short.
+  const auto r = protocol.send(msg);
+
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.decoded, msg);
+  EXPECT_EQ(r.residual_errors, 0u);
+  EXPECT_EQ(r.frames, 4u);
+  EXPECT_EQ(r.transmissions, 4u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.failed_frames, 0u);
+  EXPECT_EQ(r.recalibrations, 0u);
+  EXPECT_EQ(r.raw_error_rate(), 0.0);
+  EXPECT_GT(r.goodput_mbps(util::kDefaultFrequency), 0.0);
+  // Overhead accounting: every frame carries preamble + seq + CRC.
+  EXPECT_EQ(r.channel_bits,
+            msg.size() + r.frames * protocol.frame_overhead_bits());
+}
+
+TEST(FramedProtocol, ValidatesConfigAndMessage) {
+  ScriptedChannel channel([](const util::BitVec& w, std::size_t) {
+    return w;
+  });
+  ProtocolConfig bad;
+  bad.payload_bits = 0;
+  EXPECT_THROW(FramedProtocol(channel, bad), std::invalid_argument);
+  bad = ProtocolConfig{};
+  bad.preamble_tolerance = bad.preamble_bits;
+  EXPECT_THROW(FramedProtocol(channel, bad), std::invalid_argument);
+
+  FramedProtocol protocol(channel);
+  EXPECT_THROW((void)protocol.send(util::BitVec{}), std::invalid_argument);
+}
+
+// --- Corruption and recovery ----------------------------------------------
+
+TEST(FramedProtocol, PayloadCorruptionIsDetectedAndRetransmitted) {
+  // First attempt of every frame loses a payload bit; retries are clean.
+  ScriptedChannel channel([](const util::BitVec& w, std::size_t attempt) {
+    return attempt % 2 == 0 ? flip_bits(w, {20}) : w;
+  });
+  FramedProtocol protocol(channel);
+  util::Xoshiro256 rng(7);
+  const auto msg = util::BitVec::random(64, rng);
+  const auto r = protocol.send(msg);
+
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.residual_errors, 0u);
+  EXPECT_EQ(r.frames, 2u);
+  EXPECT_EQ(r.transmissions, 4u);  // Each frame: 1 corrupted + 1 clean.
+  EXPECT_EQ(r.retransmissions, 2u);
+  EXPECT_GT(r.raw_error_rate(), 0.0);
+}
+
+TEST(FramedProtocol, PreambleToleratesOneFlipButNotMore) {
+  // A single preamble flip still parses (CRC covers only seq+payload).
+  ScriptedChannel tolerant([](const util::BitVec& w, std::size_t attempt) {
+    return attempt == 0 ? flip_bits(w, {0}) : w;
+  });
+  FramedProtocol protocol(tolerant);
+  const auto msg = util::BitVec::alternating(32);
+  const auto r = protocol.send(msg);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.residual_errors, 0u);
+
+  // Two preamble flips break frame sync: the frame must be retransmitted
+  // even though the CRC region is intact.
+  ScriptedChannel broken([](const util::BitVec& w, std::size_t attempt) {
+    return attempt == 0 ? flip_bits(w, {0, 2}) : w;
+  });
+  FramedProtocol protocol2(broken);
+  const auto r2 = protocol2.send(msg);
+  EXPECT_EQ(r2.retransmissions, 1u);
+  EXPECT_EQ(r2.residual_errors, 0u);
+}
+
+TEST(FramedProtocol, ConsecutiveFailuresTriggerRecalibration) {
+  // Frame 0 fails twice before succeeding: with recalibrate_after = 2 the
+  // drift detector trips exactly once.
+  ScriptedChannel channel([](const util::BitVec& w, std::size_t attempt) {
+    return attempt < 2 ? flip_bits(w, {15}) : w;
+  });
+  ProtocolConfig config;
+  config.recalibrate_after = 2;
+  FramedProtocol protocol(channel, config);
+  const auto r = protocol.send(util::BitVec::alternating(32));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.recalibrations, 1u);
+  EXPECT_EQ(channel.recalibrations, 1u);
+}
+
+TEST(FramedProtocol, ExhaustedRetriesReportFailedFrameWithoutThrowing) {
+  // The second frame is always corrupted; the first is clean. The transfer
+  // still finishes, reporting exactly one failed frame.
+  ProtocolConfig config;
+  config.payload_bits = 16;
+  config.max_retries = 3;
+  ScriptedChannel channel([&config](const util::BitVec& w,
+                                    std::size_t) {
+    // Frames are distinguishable by their seq bits: corrupt only seq 1.
+    const bool second = w.get(config.preamble_bits);
+    return second ? flip_bits(w, {config.preamble_bits + config.seq_bits})
+                  : w;
+  });
+  FramedProtocol protocol(channel, config);
+  const auto msg = util::BitVec(32, true);
+  const auto r = protocol.send(msg);
+
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.failed_frames, 1u);
+  EXPECT_EQ(r.retransmissions, config.max_retries);
+  EXPECT_EQ(r.transmissions, 1u + 1u + config.max_retries);
+  // Best-effort decode: the corrupted payload bit is the only residual.
+  EXPECT_EQ(r.residual_errors, 1u);
+}
+
+TEST(FramedProtocol, InnerCodeAbsorbsIsolatedFlipsWithoutRetransmission) {
+  // One flip per transmission, inside the payload region: Hamming(7,4)
+  // corrects it, so the framed layer never needs a retry.
+  ScriptedChannel channel([](const util::BitVec& w, std::size_t) {
+    return flip_bits(w, {21});
+  });
+  ProtocolConfig config;
+  config.code = CodeKind::kHamming74;
+  FramedProtocol protocol(channel, config);
+  util::Xoshiro256 rng(11);
+  const auto msg = util::BitVec::random(64, rng);
+  const auto r = protocol.send(msg);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.residual_errors, 0u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_GT(r.raw_error_rate(), 0.0);  // The channel really was lossy.
+}
+
+// --- Hardened decoders -----------------------------------------------------
+
+TEST(CodingHardening, TryDecodeRepetitionRejectsMalformedInput) {
+  const auto coded = encode_repetition(util::BitVec::alternating(8), 3);
+  EXPECT_TRUE(try_decode_repetition(coded, 3).has_value());
+  EXPECT_FALSE(try_decode_repetition(coded, 0).has_value());
+  EXPECT_FALSE(try_decode_repetition(coded, 2).has_value());  // Even r.
+  EXPECT_FALSE(try_decode_repetition(util::BitVec(7, true), 3).has_value());
+  EXPECT_THROW((void)decode_repetition(coded, 2), std::invalid_argument);
+  EXPECT_THROW((void)decode_repetition(util::BitVec(7, true), 3),
+               std::invalid_argument);
+}
+
+TEST(CodingHardening, TryDecodeHamming74RejectsMalformedInput) {
+  const auto coded = encode_hamming74(util::BitVec::alternating(8));
+  EXPECT_TRUE(try_decode_hamming74(coded, 8).has_value());
+  EXPECT_FALSE(try_decode_hamming74(util::BitVec(8, true), 4).has_value());
+  EXPECT_FALSE(try_decode_hamming74(coded, 100).has_value());
+  EXPECT_THROW((void)decode_hamming74(util::BitVec(8, true), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)decode_hamming74(coded, 100), std::invalid_argument);
+}
+
+// --- End-to-end recovery over the real channels ----------------------------
+
+/// The PR's acceptance profile: flips >= 1% of channel bits (jitter around
+/// the decision threshold + refresh storms) and drops more than one
+/// semaphore post per message.
+std::vector<fault::FaultConfig> acceptance_profile() {
+  return {
+      {fault::FaultKind::kDramJitter, 0.03, 400, 0, ~0ull},
+      {fault::FaultKind::kRefreshStorm, 0.01, 0, 0, ~0ull},
+      {fault::FaultKind::kSemaphoreDrop, 0.25, 0, 0, ~0ull},
+  };
+}
+
+TEST(FramedProtocolEndToEnd, PnmRecoversToZeroResidualBerUnderFaults) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  (void)attack.transmit(util::BitVec::alternating(16));  // Calibrate clean.
+
+  fault::Injector injector(4321, acceptance_profile());
+  system.set_fault_injector(&injector);
+
+  ProtocolConfig config;
+  config.payload_bits = 8;  // Short frames localize the damage.
+  config.max_retries = 16;
+  FramedProtocol protocol(attack, config);
+  util::Xoshiro256 rng(13);
+  const auto msg = util::BitVec::random(96, rng);
+  const auto r = protocol.send(msg);
+  system.set_fault_injector(nullptr);
+
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.residual_errors, 0u);
+  EXPECT_EQ(r.decoded, msg);
+  // The faults really hit: >= 1% of channel bits flipped, posts dropped.
+  EXPECT_GT(r.raw_error_rate(), 0.01);
+  EXPECT_GT(injector.counters().fired_of(fault::FaultKind::kSemaphoreDrop),
+            1u);
+  EXPECT_GT(r.retransmissions, 0u);
+}
+
+TEST(FramedProtocolEndToEnd, PumRecoversFromRowCloneBitFlips) {
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPum attack(system);
+  (void)attack.transmit(util::BitVec::alternating(16));  // Calibrate clean.
+
+  fault::Injector injector(
+      777, {{fault::FaultKind::kRowCloneDrop, 0.03, 0, 0, ~0ull}});
+  system.set_fault_injector(&injector);
+
+  ProtocolConfig config;
+  config.payload_bits = 16;
+  config.max_retries = 16;
+  FramedProtocol protocol(attack, config);
+  util::Xoshiro256 rng(17);
+  const auto msg = util::BitVec::random(64, rng);
+  const auto r = protocol.send(msg);
+  system.set_fault_injector(nullptr);
+
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.residual_errors, 0u);
+  EXPECT_GT(injector.counters().fired_of(fault::FaultKind::kRowCloneDrop),
+            0u);
+}
+
+TEST(FramedProtocolEndToEnd, FaultFreeRunMatchesRawChannelBits) {
+  // Without faults the framed layer is pure overhead: one transmission per
+  // frame and a decode identical to the raw channel's.
+  sys::MemorySystem system{sys::SystemConfig{}};
+  attacks::ImpactPnm attack(system);
+  FramedProtocol protocol(attack);
+  util::Xoshiro256 rng(19);
+  const auto msg = util::BitVec::random(64, rng);
+  const auto r = protocol.send(msg);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.residual_errors, 0u);
+  EXPECT_EQ(r.transmissions, r.frames);
+  EXPECT_EQ(attack.last_sync_timeouts(), 0u);
+}
+
+}  // namespace
+}  // namespace impact::channel

@@ -4,6 +4,9 @@
 #   1. clang-tidy over src/ (.clang-tidy profile, warnings-as-errors),
 #   2. an ASan+UBSan build with -Werror of every target,
 #   3. the full ctest suite under the sanitizers with IMPACT_CHECK=1,
+#   3b. the same suite again with IMPACT_FAULTS=heavy: fault-aware tests
+#      layer the heavy fault profile onto their scenarios and must still
+#      recover; everything else must be unaffected (injection is opt-in),
 #   4. a ThreadSanitizer build + the exec-engine tests under it (TSan and
 #      ASan cannot share a binary, so this is a separate build tree),
 #   5. tools/bench.sh --smoke: fails on >20% items/sec regression against
@@ -76,6 +79,25 @@ else
   FAILED=1
 fi
 
+# --- Stage 3b: the suite under an ambient fault profile -----------------
+# IMPACT_FAULTS=heavy makes the fault-aware tests layer the heavy profile
+# onto their own scenarios (src/fault/injector.hpp: profile_from_env); the
+# rest of the suite must be unaffected — fault injection is opt-in per
+# system, never ambient, and this stage proves the suite stays green when
+# the env knob is set globally.
+if [ "${STATUS[sanitizer-build]}" = "PASS" ]; then
+  ( cd "${BUILD_DIR}" \
+    && IMPACT_FAULTS=heavy \
+       IMPACT_CHECK=1 \
+       ASAN_OPTIONS=detect_leaks=1 \
+       UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+       ctest --output-on-failure -j "${JOBS}" )
+  stage fault $?
+else
+  STATUS[fault]="SKIP (build failed)"
+  FAILED=1
+fi
+
 # --- Stage 4: TSan over the exec engine ---------------------------------
 # The thread pool and sweep scheduler are the only concurrent code in the
 # repo; running their tests under ThreadSanitizer catches ordering bugs the
@@ -104,7 +126,7 @@ stage bench-smoke $?
 # --- Summary ------------------------------------------------------------
 echo
 echo "== check summary"
-for s in clang-tidy sanitizer-build ctest tsan-exec bench-smoke; do
+for s in clang-tidy sanitizer-build ctest fault tsan-exec bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

@@ -4,12 +4,22 @@
 //
 // Paper: CTD costs 26% on average, CRP 15%, with CRP cheap on the
 // workloads that do not benefit from the open-row policy.
+//
+// The grid runs as a capture-enabled exec::Sweep: every cell gets its own
+// obs scope, and the table below is rebuilt from the per-cell snapshots
+// (graph.* counters) rather than the tasks' own RunStats — the spine's
+// accounting is the figure. With the spine compiled out (-DIMPACT_OBS=OFF)
+// the table falls back to the RunStats cells, which are identical.
+#include <array>
 #include <cstdio>
 #include <iterator>
+#include <string>
 #include <vector>
 
 #include "exec/sweep.hpp"
 #include "graph/multiprog.hpp"
+#include "obs/scope.hpp"
+#include "obs/snapshot.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -22,41 +32,85 @@ int main() {
               pool.size());
 
   graph::MultiprogConfig config;
+  constexpr dram::RowPolicy kPolicies[] = {
+      dram::RowPolicy::kOpenRow, dram::RowPolicy::kClosedRow,
+      dram::RowPolicy::kConstantTime, dram::RowPolicy::kAdaptive};
+  constexpr std::size_t kCells = std::size(kPolicies);
+  const std::size_t workloads = std::size(graph::kAllWorkloads);
+
+  // Task graph: each workload's input build feeds its four policy cells.
+  std::vector<graph::WorkloadInput> inputs(workloads);
+  std::vector<std::array<graph::RunStats, kCells>> stats(workloads);
+  std::vector<std::array<exec::Sweep::TaskId, kCells>> cells(workloads);
+  exec::Sweep sweep(&pool);
+  sweep.set_capture(true);
+  for (std::size_t w = 0; w < workloads; ++w) {
+    const auto kind = graph::kAllWorkloads[w];
+    const exec::Sweep::TaskId build = sweep.add(
+        "input:" + std::string(to_string(kind)),
+        [&inputs, &config, w, kind] {
+          inputs[w] = graph::build_input(config, kind);
+        });
+    for (std::size_t p = 0; p < kCells; ++p) {
+      cells[w][p] = sweep.add(
+          "run:" + std::string(to_string(kind)) + ":" +
+              to_string(kPolicies[p]),
+          [&, w, p] {
+            stats[w][p] =
+                graph::run_multiprogrammed(config, inputs[w], kPolicies[p]);
+          },
+          {build});
+    }
+  }
+  const exec::RunReport grid = sweep.run_resilient();
+  if (!grid.ok()) {
+    std::printf("sweep failed: %s\n", grid.summary().c_str());
+    return 1;
+  }
+
+  // One row value: from the cell's snapshot when the spine is compiled in,
+  // from the task's own RunStats otherwise. Bit-identical either way.
+  const auto cell_stats = [&](std::size_t w, std::size_t p) {
+    if (!obs::kCompiled) return stats[w][p];
+    const obs::Snapshot& snap = grid.snapshots[cells[w][p]];
+    graph::RunStats r;
+    r.cycles = snap.counter("graph.cycles");
+    r.instructions = snap.counter("graph.instructions");
+    r.accesses = snap.counter("graph.accesses");
+    r.llc_misses = snap.counter("graph.llc_misses");
+    r.row_hit_rate = snap.gauge("graph.row_hit_rate");
+    return r;
+  };
+
   util::Table table({"workload", "MPKI", "row-hit rate", "open-row (cyc)",
                      "CRP overhead", "CTD overhead",
                      "adaptive overhead (ext.)"});
-
-  // The whole grid — the three Fig. 11 policies plus the adaptive
-  // extension column — fans out over the pool; cells are schedule-
-  // independent, so the table matches the old serial loop exactly.
-  const auto matrix =
-      graph::evaluate_defense_matrix(config, graph::kAllWorkloads, &pool);
-  const std::vector<graph::RunStats> adaptive_runs =
-      exec::parallel_map<graph::RunStats>(
-          &pool, std::size(graph::kAllWorkloads), [&](std::size_t i) {
-            return graph::run_multiprogrammed(config, graph::kAllWorkloads[i],
-                                              dram::RowPolicy::kAdaptive);
-          });
-
   double crp_sum = 0.0;
   double ctd_sum = 0.0;
   double adp_sum = 0.0;
   int n = 0;
-  for (std::size_t i = 0; i < matrix.size(); ++i) {
-    const auto& r = matrix[i];
-    const double adp_overhead =
-        static_cast<double>(adaptive_runs[i].cycles) / r.open_row.cycles -
-        1.0;
-    crp_sum += r.crp_overhead();
-    ctd_sum += r.ctd_overhead();
-    adp_sum += adp_overhead;
+  obs::Snapshot totals;
+  for (std::size_t w = 0; w < workloads; ++w) {
+    const graph::RunStats open_row = cell_stats(w, 0);
+    const auto overhead = [&](std::size_t p) {
+      return static_cast<double>(cell_stats(w, p).cycles) /
+                 static_cast<double>(open_row.cycles) -
+             1.0;
+    };
+    crp_sum += overhead(1);
+    ctd_sum += overhead(2);
+    adp_sum += overhead(3);
     ++n;
-    table.add_row({to_string(r.kind), util::Table::num(r.open_row.mpki()),
-                   util::Table::num(r.open_row.row_hit_rate),
-                   util::Table::num(r.open_row.cycles, 0),
-                   util::Table::num(100.0 * r.crp_overhead(), 1) + "%",
-                   util::Table::num(100.0 * r.ctd_overhead(), 1) + "%",
-                   util::Table::num(100.0 * adp_overhead, 1) + "%"});
+    for (std::size_t p = 0; p < kCells; ++p) {
+      totals.merge(grid.snapshots[cells[w][p]]);
+    }
+    table.add_row({to_string(graph::kAllWorkloads[w]),
+                   util::Table::num(open_row.mpki()),
+                   util::Table::num(open_row.row_hit_rate),
+                   util::Table::num(open_row.cycles, 0),
+                   util::Table::num(100.0 * overhead(1), 1) + "%",
+                   util::Table::num(100.0 * overhead(2), 1) + "%",
+                   util::Table::num(100.0 * overhead(3), 1) + "%"});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -69,5 +123,9 @@ int main() {
       "heuristic: an attacker who re-trains the predictor with hit bursts\n"
       "can partially reopen the channel.\n",
       100.0 * crp_sum / n, 100.0 * ctd_sum / n, 100.0 * adp_sum / n);
+  if (obs::kCompiled && !totals.empty()) {
+    std::printf("\ngrid totals (merged per-cell obs snapshots):\n%s",
+                totals.table("  ").c_str());
+  }
   return 0;
 }

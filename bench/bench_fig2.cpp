@@ -11,7 +11,9 @@
 
 #include "attacks/registry.hpp"
 #include "cache/latency_model.hpp"
+#include "channel/report.hpp"
 #include "model/cache_attack_model.hpp"
+#include "obs/scope.hpp"
 #include "sys/system.hpp"
 #include "util/table.hpp"
 
@@ -36,7 +38,12 @@ int main() {
                          p.measurement_overhead;
     const double baseline_mbps = util::kDefaultFrequency.hz() / t_bit / 1e6;
 
-    // Fully simulated attacks.
+    // Fully simulated attacks. Each runs under its own obs scope; the
+    // table's report is re-derived from the scope's snapshot, pinning the
+    // spine's accounting to the figure the paper comparison rests on
+    // (measure()'s aggregate is the obs-disabled fallback and is identical
+    // to the snapshot when the spine is compiled in).
+    obs::Scope evict_scope;
     sys::SystemConfig cfg;
     cfg.llc_bytes = llc_bytes;
     cfg.mapping =
@@ -44,14 +51,23 @@ int main() {
     sys::MemorySystem evict_system(cfg);
     auto evict_attack = attacks::make_attack(
         attacks::AttackKind::kDramaEviction, evict_system);
-    const auto evict_report = evict_attack->measure(64, 6, 11);
+    const auto evict_measured = evict_attack->measure(64, 6, 11);
+    const auto evict_report =
+        obs::kCompiled
+            ? channel::report_from_snapshot(evict_scope.snapshot())
+            : evict_measured;
 
+    obs::Scope direct_scope;
     sys::SystemConfig direct_cfg;
     direct_cfg.llc_bytes = llc_bytes;
     sys::MemorySystem direct_system(direct_cfg);
     auto direct_attack = attacks::make_attack(
         attacks::AttackKind::kDirectAccess, direct_system);
-    const auto direct_report = direct_attack->measure(64, 6, 11);
+    const auto direct_measured = direct_attack->measure(64, 6, 11);
+    const auto direct_report =
+        obs::kCompiled
+            ? channel::report_from_snapshot(direct_scope.snapshot())
+            : direct_measured;
 
     table.add_row(
         {std::to_string(mb) + " MB", util::Table::num(p.llc_latency, 0),

@@ -56,8 +56,8 @@ void RowBufferChannelBase::calibrate() {
   // ground truth; the decision threshold is the cluster midpoint. This is
   // the attacker-visible analogue of the paper's 150-cycle threshold.
   const auto pattern = util::BitVec::alternating(config_.calibration_bits);
-  threshold_ = 0.0;  // Sentinel: transmit() skips decoding during calibration.
-  auto result = transmit(pattern);
+  threshold_ = 0.0;  // Sentinel: decoding is skipped during calibration.
+  auto result = do_transmit(pattern);
   channel::ThresholdCalibrator cal;
   for (std::size_t i = 0; i < pattern.size(); ++i) {
     if (pattern.get(i)) {
@@ -79,7 +79,7 @@ util::Cycle RowBufferChannelBase::recalibrate() {
   return std::max(sender_clock_, receiver_clock_) - before;
 }
 
-channel::TransmissionResult RowBufferChannelBase::transmit(
+channel::TransmissionResult RowBufferChannelBase::do_transmit(
     const util::BitVec& message) {
   ensure_ready();
   util::check(!message.empty(), "transmit: empty message");

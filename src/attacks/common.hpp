@@ -64,8 +64,6 @@ class RowBufferChannelBase : public channel::CovertAttack {
  public:
   RowBufferChannelBase(sys::MemorySystem& system, RowChannelConfig config);
 
-  channel::TransmissionResult transmit(const util::BitVec& message) final;
-
   /// Calibrated decision threshold (cycles). Calibration runs lazily on
   /// the first transmit.
   [[nodiscard]] double threshold() const { return threshold_; }
@@ -92,6 +90,11 @@ class RowBufferChannelBase : public channel::CovertAttack {
   }
 
  protected:
+  /// The shared row-buffer channel loop (batching, semaphore sync, noise
+  /// interleaving); called through CovertAttack::transmit, and directly by
+  /// calibrate() so calibration traffic is not counted as payload.
+  channel::TransmissionResult do_transmit(const util::BitVec& message) final;
+
   /// One-time setup: map per-bank rows, warm structures.
   virtual void setup();
 

@@ -46,7 +46,7 @@ void ImpactAsync::ensure_ready() {
 void ImpactAsync::calibrate() {
   const auto pattern = util::BitVec::alternating(config_.calibration_bits);
   threshold_ = 0.0;
-  (void)transmit(pattern);
+  (void)do_transmit(pattern);
   channel::ThresholdCalibrator cal;
   for (std::size_t i = 0; i < pattern.size(); ++i) {
     if (pattern.get(i)) {
@@ -58,7 +58,7 @@ void ImpactAsync::calibrate() {
   threshold_ = cal.threshold();
 }
 
-channel::TransmissionResult ImpactAsync::transmit(
+channel::TransmissionResult ImpactAsync::do_transmit(
     const util::BitVec& message) {
   ensure_ready();
   util::check(!message.empty(), "ImpactAsync::transmit: empty message");

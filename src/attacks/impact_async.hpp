@@ -35,12 +35,14 @@ class ImpactAsync final : public channel::CovertAttack {
 
   [[nodiscard]] std::string name() const override { return "IMPACT-Async"; }
 
-  channel::TransmissionResult transmit(const util::BitVec& message) override;
-
   [[nodiscard]] double threshold() const { return threshold_; }
   /// Fraction of receiver probes that overran their slot in the last
   /// transmission (the failure mode of too-aggressive slot lengths).
   [[nodiscard]] double overrun_rate() const { return overrun_rate_; }
+
+ protected:
+  channel::TransmissionResult do_transmit(const util::BitVec& message)
+      override;
 
  private:
   void ensure_ready();

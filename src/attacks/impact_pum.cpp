@@ -54,7 +54,7 @@ void ImpactPum::ensure_ready() {
 void ImpactPum::calibrate() {
   const auto pattern = util::BitVec::alternating(config_.calibration_bits);
   threshold_ = 0.0;
-  (void)transmit(pattern);
+  (void)do_transmit(pattern);
   channel::ThresholdCalibrator cal;
   for (std::size_t i = 0; i < pattern.size(); ++i) {
     if (pattern.get(i)) {
@@ -76,7 +76,7 @@ util::Cycle ImpactPum::recalibrate() {
   return std::max(sender_clock_, receiver_clock_) - before;
 }
 
-channel::TransmissionResult ImpactPum::transmit(
+channel::TransmissionResult ImpactPum::do_transmit(
     const util::BitVec& message) {
   ensure_ready();
   util::check(!message.empty(), "ImpactPum::transmit: empty message");

@@ -41,8 +41,6 @@ class ImpactPum final : public channel::CovertAttack {
 
   [[nodiscard]] std::string name() const override { return "IMPACT-PuM"; }
 
-  channel::TransmissionResult transmit(const util::BitVec& message) override;
-
   /// Re-runs threshold calibration (framed-protocol drift recovery).
   util::Cycle recalibrate() override;
 
@@ -50,6 +48,10 @@ class ImpactPum final : public channel::CovertAttack {
   [[nodiscard]] const std::vector<double>& last_latencies() const {
     return last_latencies_;
   }
+
+ protected:
+  channel::TransmissionResult do_transmit(const util::BitVec& message)
+      override;
 
  private:
   void ensure_ready();

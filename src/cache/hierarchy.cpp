@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::cache {
@@ -41,6 +43,39 @@ Hierarchy::Hierarchy(HierarchyConfig config,
   const std::uint32_t lb = config_.l1.line_bytes;
   if (lb != 0 && (lb & (lb - 1)) == 0) {
     line_shift_ = static_cast<std::uint32_t>(std::countr_zero(lb));
+  }
+  // Publish the per-level stats as snapshot-time providers: sampling
+  // happens only when a snapshot is taken, so the access fast path (PR 3's
+  // flattened layout) is not touched at all. Registration is construction-
+  // time-only work gated on an active obs::Scope.
+  if (obs::Registry* reg = obs::current_registry()) {
+    obs_registry_ = reg;
+    const struct {
+      const Cache* cache;
+      const char* name;
+    } levels[] = {{&l1_, "l1"}, {&l2_, "l2"}, {&l3_, "l3"}};
+    for (const auto& lvl : levels) {
+      const std::string base = std::string("cache.") + lvl.name + ".";
+      const Cache* c = lvl.cache;
+      obs_providers_.push_back(reg->add_provider(
+          base + "hits", [c] { return c->stats().hits; }));
+      obs_providers_.push_back(reg->add_provider(
+          base + "misses", [c] { return c->stats().misses; }));
+      obs_providers_.push_back(reg->add_provider(
+          base + "evictions", [c] { return c->stats().evictions; }));
+      obs_providers_.push_back(reg->add_provider(
+          base + "writebacks", [c] { return c->stats().writebacks; }));
+    }
+    obs_providers_.push_back(reg->add_provider(
+        "cache.prefetch_fills", [this] { return prefetch_fills_; }));
+  }
+}
+
+Hierarchy::~Hierarchy() {
+  if (obs_registry_ != nullptr) {
+    for (const obs::ProviderId id : obs_providers_) {
+      obs_registry_->flush_provider(id);
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include "cache/latency_model.hpp"
 #include "cache/prefetcher.hpp"
 #include "dram/controller.hpp"
+#include "obs/registry.hpp"
 #include "util/units.hpp"
 
 namespace impact::cache {
@@ -68,6 +69,13 @@ class Hierarchy {
   /// on behalf of `actor`. The controller must outlive the hierarchy.
   Hierarchy(HierarchyConfig config, dram::MemoryController& controller,
             dram::ActorId actor = dram::kAnyActor);
+  /// Flushes any obs:: snapshot providers registered at construction (the
+  /// per-level hit/miss counters stay visible in snapshots taken after the
+  /// hierarchy is gone). Registered providers capture `this`, so the
+  /// hierarchy is neither copyable nor movable.
+  ~Hierarchy();
+  Hierarchy(const Hierarchy&) = delete;
+  Hierarchy& operator=(const Hierarchy&) = delete;
 
   [[nodiscard]] const HierarchyConfig& config() const { return config_; }
 
@@ -150,6 +158,12 @@ class Hierarchy {
   /// per prefetcher suffices.
   std::vector<LineAddr> l1_pf_scratch_;
   std::vector<LineAddr> l2_pf_scratch_;
+  /// Snapshot-time providers over the existing LevelStats counters: the
+  /// access fast path is untouched (zero added instructions); the registry
+  /// samples the stats structs only when a snapshot is taken. Null/empty
+  /// outside an obs::Scope.
+  obs::Registry* obs_registry_ = nullptr;
+  std::vector<obs::ProviderId> obs_providers_;
 
  public:
   [[nodiscard]] std::uint64_t prefetch_fills() const {

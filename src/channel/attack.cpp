@@ -1,8 +1,39 @@
 #include "channel/attack.hpp"
 
+#include "obs/scope.hpp"
 #include "util/rng.hpp"
 
 namespace impact::channel {
+
+CovertAttack::CovertAttack() {
+  if (obs::Registry* reg = obs::current_registry()) {
+    obs_transmits_ = reg->counter("channel.transmits");
+    obs_bits_total_ = reg->counter("channel.bits.total");
+    obs_bits_correct_ = reg->counter("channel.bits.correct");
+    obs_elapsed_ = reg->counter("channel.cycles.elapsed");
+    obs_sender_ = reg->counter("channel.cycles.sender");
+    obs_receiver_ = reg->counter("channel.cycles.receiver");
+    obs_trace_ = obs::current_trace();
+  }
+}
+
+TransmissionResult CovertAttack::transmit(const util::BitVec& message) {
+  TransmissionResult result = do_transmit(message);
+  if (obs_transmits_) {
+    obs_transmits_.add();
+    obs_bits_total_.add(result.report.bits_total);
+    obs_bits_correct_.add(result.report.bits_correct);
+    obs_elapsed_.add(result.report.elapsed_cycles);
+    obs_sender_.add(result.report.sender_cycles);
+    obs_receiver_.add(result.report.receiver_cycles);
+  }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->span("channel", name(), obs_cursor_,
+                     obs_cursor_ + result.report.elapsed_cycles);
+    obs_cursor_ += result.report.elapsed_cycles;
+  }
+  return result;
+}
 
 ChannelReport CovertAttack::measure(std::size_t bits, std::size_t messages,
                                     std::uint64_t seed) {

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "channel/report.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/bitvec.hpp"
 
 namespace impact::channel {
@@ -20,9 +22,15 @@ class CovertAttack {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Transmits `message` from the attack's sender to its receiver and
-  /// returns what arrived, with full timing accounting. Implementations
-  /// must be reusable: consecutive calls transmit independent messages.
-  virtual TransmissionResult transmit(const util::BitVec& message) = 0;
+  /// returns what arrived, with full timing accounting.
+  ///
+  /// Template method: the channel work happens in `do_transmit`; this
+  /// wrapper publishes the result's accounting into the current obs scope
+  /// (channel.* counters, one span per transmission on the channel
+  /// track). Derived classes override `do_transmit` and stay oblivious to
+  /// the instrumentation; internal traffic (threshold calibration) calls
+  /// `do_transmit` directly and is NOT counted as payload.
+  TransmissionResult transmit(const util::BitVec& message);
 
   /// Re-runs the attack's threshold calibration (e.g. after a drift
   /// detector trips in the framed protocol layer) and returns the cycles
@@ -34,6 +42,28 @@ class CovertAttack {
   /// returns the aggregate report.
   ChannelReport measure(std::size_t bits, std::size_t messages,
                         std::uint64_t seed);
+
+ protected:
+  /// Resolves the obs:: handles against the scope active at construction.
+  CovertAttack();
+
+  /// The actual channel implementation. Must be reusable: consecutive
+  /// calls transmit independent messages.
+  virtual TransmissionResult do_transmit(const util::BitVec& message) = 0;
+
+ private:
+  // Null handles (one predictable branch per *message*, not per bit)
+  // outside an obs::Scope.
+  obs::Counter obs_transmits_;
+  obs::Counter obs_bits_total_;
+  obs::Counter obs_bits_correct_;
+  obs::Counter obs_elapsed_;
+  obs::Counter obs_sender_;
+  obs::Counter obs_receiver_;
+  obs::TraceSession* obs_trace_ = nullptr;
+  /// Attacks report elapsed cycles, not absolute time; a running cursor
+  /// lays consecutive transmissions end-to-end on the trace timeline.
+  util::Cycle obs_cursor_ = 0;
 };
 
 }  // namespace impact::channel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::channel {
@@ -33,6 +34,17 @@ FramedProtocol::FramedProtocol(CovertAttack& attack, ProtocolConfig config)
               "ProtocolConfig: seq_bits must be in [1,16]");
   util::check(config_.preamble_tolerance < config_.preamble_bits,
               "ProtocolConfig: preamble tolerance must leave sync bits");
+  if (obs::Registry* reg = obs::current_registry()) {
+    obs_frames_ = reg->counter("protocol.frames");
+    obs_transmissions_ = reg->counter("protocol.transmissions");
+    obs_retransmissions_ = reg->counter("protocol.retransmissions");
+    obs_failed_frames_ = reg->counter("protocol.failed_frames");
+    obs_recalibrations_ = reg->counter("protocol.recalibrations");
+    obs_residual_errors_ = reg->counter("protocol.residual_errors");
+    obs_channel_bits_ = reg->counter("protocol.channel_bits");
+    obs_channel_bit_errors_ = reg->counter("protocol.channel_bit_errors");
+    obs_trace_ = obs::current_trace();
+  }
 }
 
 namespace {
@@ -200,8 +212,18 @@ ProtocolResult FramedProtocol::send(const util::BitVec& message) {
         r.elapsed_cycles += attack_->recalibrate();
         ++r.recalibrations;
         consecutive_failures = 0;
+        if (obs_trace_) {
+          obs_trace_->instant("protocol", "recalibrate",
+                              obs_cursor_ + r.elapsed_cycles, 0);
+        }
       }
-      if (attempt + 1 < attempts) ++r.retransmissions;
+      if (attempt + 1 < attempts) {
+        ++r.retransmissions;
+        if (obs_trace_) {
+          obs_trace_->instant("protocol", "retransmit",
+                              obs_cursor_ + r.elapsed_cycles, 0);
+        }
+      }
     }
 
     if (!delivered) {
@@ -214,6 +236,17 @@ ProtocolResult FramedProtocol::send(const util::BitVec& message) {
 
   r.complete = r.failed_frames == 0;
   r.residual_errors = message.hamming_distance(r.decoded);
+  if (obs_frames_) {
+    obs_frames_.add(r.frames);
+    obs_transmissions_.add(r.transmissions);
+    obs_retransmissions_.add(r.retransmissions);
+    obs_failed_frames_.add(r.failed_frames);
+    obs_recalibrations_.add(r.recalibrations);
+    obs_residual_errors_.add(r.residual_errors);
+    obs_channel_bits_.add(r.channel_bits);
+    obs_channel_bit_errors_.add(r.channel_bit_errors);
+  }
+  obs_cursor_ += r.elapsed_cycles;
   return r;
 }
 

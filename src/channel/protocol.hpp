@@ -24,6 +24,8 @@
 
 #include "channel/attack.hpp"
 #include "channel/coding.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/bitvec.hpp"
 #include "util/units.hpp"
 
@@ -109,6 +111,20 @@ class FramedProtocol {
 
   CovertAttack* attack_;
   ProtocolConfig config_;
+
+  // obs spine: every counter in ProtocolResult is mirrored into the ambient
+  // registry at the end of send(), and retransmit/recalibrate decisions
+  // land in the trace as instant events on the protocol's own cycle line.
+  obs::Counter obs_frames_;
+  obs::Counter obs_transmissions_;
+  obs::Counter obs_retransmissions_;
+  obs::Counter obs_failed_frames_;
+  obs::Counter obs_recalibrations_;
+  obs::Counter obs_residual_errors_;
+  obs::Counter obs_channel_bits_;
+  obs::Counter obs_channel_bit_errors_;
+  obs::TraceSession* obs_trace_ = nullptr;
+  util::Cycle obs_cursor_ = 0;  ///< Accumulated protocol time across sends.
 };
 
 }  // namespace impact::channel

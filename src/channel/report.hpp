@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/snapshot.hpp"
 #include "util/bitvec.hpp"
 #include "util/units.hpp"
 
@@ -55,6 +56,21 @@ struct TransmissionResult {
 inline void score(TransmissionResult& r) {
   r.report.bits_total = r.sent.size();
   r.report.bits_correct = r.sent.size() - r.sent.hamming_distance(r.decoded);
+}
+
+/// Re-derives an aggregate ChannelReport from the channel.* counters that
+/// CovertAttack::transmit published into an obs snapshot. Exact identity
+/// with the sum of the per-transmit reports (the spine tests pin it), so
+/// bench figures print from snapshots instead of accumulating privately.
+[[nodiscard]] inline ChannelReport report_from_snapshot(
+    const obs::Snapshot& snap) {
+  ChannelReport r;
+  r.bits_total = snap.counter("channel.bits.total");
+  r.bits_correct = snap.counter("channel.bits.correct");
+  r.elapsed_cycles = snap.counter("channel.cycles.elapsed");
+  r.sender_cycles = snap.counter("channel.cycles.sender");
+  r.receiver_cycles = snap.counter("channel.cycles.receiver");
+  return r;
 }
 
 }  // namespace impact::channel

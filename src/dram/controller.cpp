@@ -4,6 +4,8 @@
 
 #include "check/protocol_checker.hpp"
 #include "fault/injector.hpp"
+#include "obs/dram_tap.hpp"
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::dram {
@@ -23,10 +25,14 @@ MemoryController::MemoryController(DramConfig config, MappingScheme scheme,
   if (check::ProtocolChecker::env_enabled()) {
     checker_ = std::make_unique<check::ProtocolChecker>(
         timing_, check::FailMode::kAbort);
-    for (BankId i = 0; i < banks_.size(); ++i) {
-      banks_[i].set_observer(checker_.get(), i);
-    }
   }
+  // Constructed inside an obs::Scope: mirror the command stream into the
+  // scope's registry (and current trace session, if any). Outside a scope
+  // — every microbench — this folds to nothing.
+  if (obs::Registry* reg = obs::current_registry()) {
+    tap_ = std::make_unique<obs::DramTap>(*reg, obs::current_trace());
+  }
+  rewire_observers();
 }
 
 MemoryController::~MemoryController() {
@@ -41,8 +47,46 @@ MemoryController::~MemoryController() {
 
 void MemoryController::set_observer(CommandObserver* observer) {
   checker_.reset();
+  external_observers_.clear();
+  if (observer != nullptr) external_observers_.push_back(observer);
+  rewire_observers();
+}
+
+void MemoryController::add_observer(CommandObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(external_observers_.begin(), external_observers_.end(),
+                observer) != external_observers_.end()) {
+    return;
+  }
+  external_observers_.push_back(observer);
+  rewire_observers();
+}
+
+void MemoryController::remove_observer(CommandObserver* observer) {
+  const auto it = std::find(external_observers_.begin(),
+                            external_observers_.end(), observer);
+  if (it == external_observers_.end()) return;
+  external_observers_.erase(it);
+  rewire_observers();
+}
+
+void MemoryController::rewire_observers() {
+  // Order matters: the checker validates the stream before anything else
+  // consumes it, the tap mirrors it, externals see it last.
+  std::vector<CommandObserver*> targets;
+  if (checker_) targets.push_back(checker_.get());
+  if (tap_) targets.push_back(tap_.get());
+  targets.insert(targets.end(), external_observers_.begin(),
+                 external_observers_.end());
+  CommandObserver* effective = nullptr;
+  if (targets.size() == 1) {
+    effective = targets.front();
+  } else if (targets.size() > 1) {
+    fanout_.set_targets(std::move(targets));
+    effective = &fanout_;
+  }
   for (BankId i = 0; i < banks_.size(); ++i) {
-    banks_[i].set_observer(observer, i);
+    banks_[i].set_observer(effective, i);
   }
 }
 

@@ -31,6 +31,10 @@ namespace impact::fault {
 class Injector;
 }  // namespace impact::fault
 
+namespace impact::obs {
+class DramTap;
+}  // namespace impact::obs
+
 namespace impact::dram {
 
 /// Identifies a simulated security principal (process) for partitioning.
@@ -138,14 +142,30 @@ class MemoryController {
   [[nodiscard]] DataArray* data() { return data_ ? &*data_ : nullptr; }
 
   // --- Command-stream observation --------------------------------------
-  /// Attaches `observer` to every bank (nullptr detaches). Replaces the
-  /// auto-attached protocol checker, if any. The controller constructor
-  /// installs a `check::ProtocolChecker` in abort-on-violation mode when
-  /// `ProtocolChecker::env_enabled()` says so (IMPACT_CHECK=1, or a debug
-  /// build with IMPACT_CHECK unset).
+  // The constructor auto-attaches up to two internal observers: a
+  // `check::ProtocolChecker` in abort-on-violation mode when
+  // `ProtocolChecker::env_enabled()` says so (IMPACT_CHECK=1, or a debug
+  // build with IMPACT_CHECK unset), and an `obs::DramTap` when constructed
+  // inside an active obs::Scope. Internal and external observers coexist
+  // through an ordered fan-out; the banks still see a single pointer
+  // (nullptr / sole observer / the fan-out), preserving the inline
+  // null-check fast path.
+
+  /// Legacy single-slot attachment: *replaces* the auto-attached protocol
+  /// checker and every previously attached external observer with
+  /// `observer` (nullptr detaches all externals). Kept for tests that pin
+  /// exclusive observation; new code should prefer add_observer.
   void set_observer(CommandObserver* observer);
+  /// Appends `observer` to the fan-out (no-op when already attached or
+  /// nullptr). Internal observers keep running — attaching a tracer no
+  /// longer silently replaces the checker.
+  void add_observer(CommandObserver* observer);
+  /// Detaches one external observer (no-op when not attached).
+  void remove_observer(CommandObserver* observer);
   /// The auto-attached checker, or nullptr when disabled/replaced.
   [[nodiscard]] check::ProtocolChecker* checker() { return checker_.get(); }
+  /// The auto-attached obs tap, or nullptr outside an obs::Scope.
+  [[nodiscard]] obs::DramTap* obs_tap() { return tap_.get(); }
 
   // --- Fault injection --------------------------------------------------
   /// Attaches a fault injector (nullptr detaches; non-owning — usually set
@@ -184,7 +204,15 @@ class MemoryController {
   std::uint64_t partition_faults_ = 0;
   std::optional<DataArray> data_;
   std::unique_ptr<check::ProtocolChecker> checker_;
+  std::unique_ptr<obs::DramTap> tap_;
+  std::vector<CommandObserver*> external_observers_;
+  ObserverList fanout_;
   fault::Injector* faults_ = nullptr;
+
+  /// Re-derives the per-bank observer pointer from (checker, tap,
+  /// externals): nullptr when none, the observer itself when exactly one,
+  /// the fan-out otherwise.
+  void rewire_observers();
 };
 
 }  // namespace impact::dram

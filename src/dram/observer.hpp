@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dram/config.hpp"
 #include "dram/types.hpp"
@@ -67,6 +68,32 @@ class CommandObserver {
   /// The bank's `BankStats` were reset; stream-derived counters should be
   /// cleared so later reconciliation stays meaningful.
   virtual void on_stats_reset(BankId /*bank*/) {}
+};
+
+/// Ordered fan-out so several observers (the auto-attached ProtocolChecker,
+/// the obs:: tracer tap, a user observer) can share one bank-side slot.
+///
+/// The banks keep their single-pointer inline null-check fast path from
+/// PR 2: the controller installs `nullptr` for zero observers, the sole
+/// observer directly for one, and an ObserverList only when at least two
+/// must coexist — so the fan-out's extra indirection is paid exactly when
+/// multiple consumers asked for the stream.
+class ObserverList final : public CommandObserver {
+ public:
+  void set_targets(std::vector<CommandObserver*> targets) {
+    targets_ = std::move(targets);
+  }
+  [[nodiscard]] std::size_t size() const { return targets_.size(); }
+
+  void on_command(const CommandRecord& record) override {
+    for (CommandObserver* o : targets_) o->on_command(record);
+  }
+  void on_stats_reset(BankId bank) override {
+    for (CommandObserver* o : targets_) o->on_stats_reset(bank);
+  }
+
+ private:
+  std::vector<CommandObserver*> targets_;
 };
 
 }  // namespace impact::dram

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -169,6 +170,20 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
   RunReport report;
   report.tasks = tasks_.size();
   if (tasks_.empty()) return report;
+  // Preallocated before any task starts: concurrent cells then write only
+  // their own (distinct) slot, so capture needs no extra locking.
+  if (capture_) report.snapshots.resize(tasks_.size());
+
+  // Runs one cell, under a fresh obs scope when capture is on. The scope
+  // is per-attempt-sequence (not per-attempt): a retried cell's snapshot
+  // accumulates the traffic of every attempt, which is the honest cost.
+  const auto attempt_cell = [&](TaskId id) {
+    if (!capture_) return run_with_retries(tasks_[id].fn, policy);
+    obs::Scope scope;
+    Attempt a = run_with_retries(tasks_[id].fn, policy);
+    report.snapshots[id] = scope.snapshot();
+    return a;
+  };
 
   if (pool_ == nullptr || pool_->size() <= 1) {
     std::vector<bool> failed(tasks_.size(), false);
@@ -184,7 +199,7 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
                                           "skipped: dependency failed"});
         continue;
       }
-      const Attempt a = run_with_retries(tasks_[id].fn, policy);
+      const Attempt a = attempt_cell(id);
       report.retries += a.attempts - 1;
       if (a.ok) {
         ++report.completed;
@@ -229,7 +244,7 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
       }
     }
     Attempt a;
-    if (!dep_failed) a = run_with_retries(tasks_[id].fn, policy);
+    if (!dep_failed) a = attempt_cell(id);
 
     std::vector<TaskId> ready;
     {

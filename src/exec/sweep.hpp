@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/snapshot.hpp"
 
 namespace impact::exec {
 
@@ -64,6 +65,10 @@ struct RunReport {
   std::size_t skipped = 0;
   std::size_t retries = 0;  ///< Extra attempts beyond the first, summed.
   std::vector<CellError> errors;  ///< Failed + skipped cells, by task id.
+  /// Per-cell obs snapshots, indexed by TaskId — populated only when the
+  /// sweep ran with `set_capture(true)` (empty otherwise, and empty per
+  /// cell for skipped tasks). Merge them for grid-level totals.
+  std::vector<obs::Snapshot> snapshots;
 
   [[nodiscard]] bool ok() const { return failed == 0 && skipped == 0; }
   [[nodiscard]] std::string summary() const;
@@ -102,6 +107,14 @@ class Sweep {
   /// Never throws from task failures; returns the full accounting.
   RunReport run_resilient(const RetryPolicy& policy = {});
 
+  /// When enabled, `run_resilient` opens a fresh obs::Scope around every
+  /// cell and stores the resulting Snapshot in RunReport::snapshots[id].
+  /// Each cell writes only its own preallocated slot, so capture preserves
+  /// the sweep's schedule-independence (and its bit-identical results —
+  /// instrumentation reads clocks, it never advances them).
+  void set_capture(bool capture) { capture_ = capture; }
+  [[nodiscard]] bool capture() const { return capture_; }
+
  private:
   struct Task {
     std::string label;
@@ -111,6 +124,7 @@ class Sweep {
 
   ThreadPool* pool_;
   std::vector<Task> tasks_;
+  bool capture_ = false;
 };
 
 /// Maps i -> fn(i) for i in [0, n) into an index-ordered vector, using the

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::fault {
@@ -20,6 +21,7 @@ Injector::Injector(std::uint64_t seed, std::vector<FaultConfig> faults)
     // the same stream-splitting scheme as exec::derive_seed.
     streams_.emplace_back(seed ^ (0x9E3779B97F4A7C15ull * (k + 1)));
   }
+  obs_trace_ = obs::current_trace();
 }
 
 bool Injector::binary_fault(FaultKind kind, util::Cycle now) {
@@ -30,7 +32,13 @@ bool Injector::binary_fault(FaultKind kind, util::Cycle now) {
     if (f.kind != kind || !f.active_at(now)) continue;
     if (streams_[k].chance(f.probability)) fired = true;
   }
-  if (fired) ++counters_.fired[k];
+  if (fired) {
+    ++counters_.fired[k];
+    if (obs_trace_) {
+      obs_trace_->instant("fault", to_string(kind), now,
+                          static_cast<std::uint32_t>(k));
+    }
+  }
   return fired;
 }
 
@@ -42,7 +50,13 @@ util::Cycle Injector::additive_fault(FaultKind kind, util::Cycle now) {
     if (f.kind != kind || !f.active_at(now)) continue;
     if (streams_[k].chance(f.probability)) total += f.magnitude;
   }
-  if (total > 0) ++counters_.fired[k];
+  if (total > 0) {
+    ++counters_.fired[k];
+    if (obs_trace_) {
+      obs_trace_->instant("fault", to_string(kind), now,
+                          static_cast<std::uint32_t>(k));
+    }
+  }
   return total;
 }
 

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -141,6 +142,10 @@ class Injector {
   /// depends on how often the other seams were consulted.
   std::vector<util::Xoshiro256> streams_;
   FaultCounters counters_;
+  /// Ambient trace at construction time; every firing becomes an instant
+  /// event ("fault" category, track = fault kind). Recording never touches
+  /// the RNG streams, so traced and untraced runs stay bit-identical.
+  obs::TraceSession* obs_trace_ = nullptr;
 };
 
 }  // namespace impact::fault

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/registry.hpp"
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::graph {
@@ -134,6 +136,14 @@ RunStats run_multiprogrammed(const MultiprogConfig& config,
                      system.hierarchy(kInstanceB).l3().stats().misses;
   const auto dram = system.controller().total_stats();
   stats.row_hit_rate = dram.hit_rate();
+  if (obs::Registry* reg = obs::current_registry()) {
+    reg->counter("graph.instructions").add(stats.instructions);
+    reg->counter("graph.accesses").add(stats.accesses);
+    reg->counter("graph.llc_misses").add(stats.llc_misses);
+    reg->counter("graph.cycles").add(stats.cycles);
+    reg->gauge("graph.row_hit_rate").set(stats.row_hit_rate);
+    reg->gauge("graph.mpki").set(stats.mpki());
+  }
   return stats;
 }
 

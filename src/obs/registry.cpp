@@ -1,0 +1,79 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "obs/snapshot.hpp"
+
+namespace impact::obs {
+
+Counter Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_cells_.push_back(0);
+    it = counters_.emplace(std::string(name), &counter_cells_.back()).first;
+  }
+  return Counter(it->second);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_cells_.push_back(0.0);
+    it = gauges_.emplace(std::string(name), &gauge_cells_.back()).first;
+  }
+  return Gauge(it->second);
+}
+
+Distribution Registry::distribution(std::string_view name, double lo,
+                                    double hi, std::size_t bins) {
+  auto it = dists_.find(name);
+  if (it == dists_.end()) {
+    dist_cells_.emplace_back(lo, hi, bins);
+    it = dists_.emplace(std::string(name), &dist_cells_.back()).first;
+  }
+  return Distribution(it->second);
+}
+
+ProviderId Registry::add_provider(std::string name,
+                                  std::function<std::uint64_t()> fn) {
+  const ProviderId id = next_provider_++;
+  // Materialize the cell now so the name shows up (as 0) in snapshots even
+  // if the provider is never sampled before removal.
+  (void)counter(name);
+  providers_.push_back(Provider{id, std::move(name), std::move(fn)});
+  return id;
+}
+
+void Registry::flush_provider(ProviderId id) {
+  const auto it =
+      std::find_if(providers_.begin(), providers_.end(),
+                   [id](const Provider& p) { return p.id == id; });
+  if (it == providers_.end()) return;
+  counter(it->name).add(it->fn());
+  providers_.erase(it);
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  std::uint64_t v = it != counters_.end() ? *it->second : 0;
+  for (const Provider& p : providers_) {
+    if (p.name == name) v += p.fn();
+  }
+  return v;
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? *it->second : 0.0;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, cell] : counters_) snap.counters[name] = *cell;
+  for (const Provider& p : providers_) snap.counters[p.name] += p.fn();
+  for (const auto& [name, cell] : gauges_) snap.gauges[name] = *cell;
+  for (const auto& [name, hist] : dists_) snap.dists.emplace(name, *hist);
+  return snap;
+}
+
+}  // namespace impact::obs

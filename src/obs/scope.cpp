@@ -1,0 +1,33 @@
+#include "obs/scope.hpp"
+
+namespace impact::obs {
+
+namespace detail {
+
+Registry*& registry_slot() {
+  thread_local Registry* current = nullptr;
+  return current;
+}
+
+TraceSession*& trace_slot() {
+  thread_local TraceSession* current = nullptr;
+  return current;
+}
+
+}  // namespace detail
+
+Scope::Scope(TraceSession* trace) {
+  prev_registry_ = detail::registry_slot();
+  prev_trace_ = detail::trace_slot();
+  detail::registry_slot() = &registry_;
+  // A nested scope without its own trace keeps recording into the outer
+  // session; metrics always go to the innermost registry.
+  if (trace != nullptr) detail::trace_slot() = trace;
+}
+
+Scope::~Scope() {
+  detail::registry_slot() = prev_registry_;
+  detail::trace_slot() = prev_trace_;
+}
+
+}  // namespace impact::obs

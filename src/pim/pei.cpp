@@ -1,10 +1,19 @@
 #include "pim/pei.hpp"
 
+#include "obs/scope.hpp"
+
 namespace impact::pim {
 
 PeiDispatcher::PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
                              dram::ActorId actor)
-    : config_(config), system_(&system), actor_(actor), pmu_(config.pmu) {}
+    : config_(config), system_(&system), actor_(actor), pmu_(config.pmu) {
+  if (obs::Registry* reg = obs::current_registry()) {
+    obs_ops_ = reg->counter("pim.pei.ops");
+    obs_memory_side_ = reg->counter("pim.pei.memory_side");
+    obs_host_side_ = reg->counter("pim.pei.host_side");
+    obs_trace_ = obs::current_trace();
+  }
+}
 
 PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
                                  PeiKind /*kind*/) {
@@ -43,6 +52,17 @@ PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
   }
   r.latency = latency;
   clock += latency;
+  if (obs_ops_) {
+    obs_ops_.add();
+    (r.placement == PeiPlacement::kHost ? obs_host_side_ : obs_memory_side_)
+        .add();
+  }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->span("pim",
+                     r.placement == PeiPlacement::kHost ? "pei-host"
+                                                        : "pei-memory",
+                     clock - latency, clock, actor_);
+  }
   return r;
 }
 

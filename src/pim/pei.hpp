@@ -11,6 +11,8 @@
 
 #include "cache/hierarchy.hpp"
 #include "dram/controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pim/locality_monitor.hpp"
 #include "sys/system.hpp"
 #include "util/units.hpp"
@@ -63,6 +65,12 @@ class PeiDispatcher {
   dram::ActorId actor_;
   LocalityMonitor pmu_;
   std::uint32_t bypass_cursor_ = 0;
+  // obs:: handles resolved once at construction; null (one predictable
+  // branch per PEI) outside an obs::Scope.
+  obs::Counter obs_ops_;
+  obs::Counter obs_memory_side_;
+  obs::Counter obs_host_side_;
+  obs::TraceSession* obs_trace_ = nullptr;
 };
 
 }  // namespace impact::pim

@@ -1,12 +1,22 @@
 #include "pim/rowclone.hpp"
 
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::pim {
 
 RowCloneUnit::RowCloneUnit(RowCloneConfig config, sys::MemorySystem& system,
                            dram::ActorId actor)
-    : config_(config), system_(&system), actor_(actor) {}
+    : config_(config), system_(&system), actor_(actor) {
+  if (obs::Registry* reg = obs::current_registry()) {
+    obs_ops_ = reg->counter("pim.rowclone.ops");
+    obs_legs_ = reg->counter("pim.rowclone.legs");
+    // Masked-bank occupancy: how many banks each clone touched (1..64).
+    obs_occupancy_ = reg->distribution("pim.rowclone.mask_banks", 0.0, 65.0,
+                                       65);
+    obs_trace_ = obs::current_trace();
+  }
+}
 
 void RowCloneUnit::execute_into(const RowCloneRequest& request,
                                 util::Cycle& clock, bool atomic,
@@ -42,6 +52,14 @@ void RowCloneUnit::execute_into(const RowCloneRequest& request,
   // attacker can measure); `completion` still records when the copy is done.
   out.latency = core_wait + config_.issue_latency + config_.response_latency;
   clock += out.latency;
+  if (obs_ops_) {
+    obs_ops_.add();
+    obs_legs_.add(legs.size());
+    obs_occupancy_.add(static_cast<double>(legs.size()));
+  }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->span("pim", "rowclone", clock - out.latency, clock, actor_);
+  }
 }
 
 }  // namespace impact::pim

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "dram/controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sys/system.hpp"
 #include "util/units.hpp"
 
@@ -68,6 +70,11 @@ class RowCloneUnit {
   sys::MemorySystem* system_;
   dram::ActorId actor_;
   std::vector<dram::RowCloneLeg> legs_scratch_;  ///< Reused across calls.
+  // obs:: handles resolved once at construction; null outside a Scope.
+  obs::Counter obs_ops_;
+  obs::Counter obs_legs_;
+  obs::Distribution obs_occupancy_;  ///< Banks addressed per masked clone.
+  obs::TraceSession* obs_trace_ = nullptr;
 };
 
 }  // namespace impact::pim

@@ -1,5 +1,6 @@
 #include "sys/tlb.hpp"
 
+#include "obs/scope.hpp"
 #include "util/assert.hpp"
 
 namespace impact::sys {
@@ -54,7 +55,29 @@ Tlb::Tlb(TlbConfig config)
     : config_(config),
       l1_(config.l1),
       l1_huge_(config.l1_huge),
-      l2_(config.l2) {}
+      l2_(config.l2) {
+  // Snapshot-time providers over TlbStats (see cache::Hierarchy): zero
+  // cost on the translate path, sampled only when a snapshot is taken.
+  if (obs::Registry* reg = obs::current_registry()) {
+    obs_registry_ = reg;
+    obs_providers_.push_back(reg->add_provider(
+        "tlb.accesses", [this] { return stats_.accesses; }));
+    obs_providers_.push_back(reg->add_provider(
+        "tlb.l1_hits", [this] { return stats_.l1_hits; }));
+    obs_providers_.push_back(reg->add_provider(
+        "tlb.l2_hits", [this] { return stats_.l2_hits; }));
+    obs_providers_.push_back(
+        reg->add_provider("tlb.walks", [this] { return stats_.walks; }));
+  }
+}
+
+Tlb::~Tlb() {
+  if (obs_registry_ != nullptr) {
+    for (const obs::ProviderId id : obs_providers_) {
+      obs_registry_->flush_provider(id);
+    }
+  }
+}
 
 TlbResult Tlb::translate(std::uint64_t vaddr, bool huge) {
   const std::uint64_t page =

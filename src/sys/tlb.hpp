@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cache/replacement.hpp"
+#include "obs/registry.hpp"
 #include "util/units.hpp"
 
 namespace impact::sys {
@@ -48,6 +49,12 @@ struct TlbStats {
 class Tlb {
  public:
   explicit Tlb(TlbConfig config = {});
+  /// Flushes obs:: snapshot providers (see cache::Hierarchy — same
+  /// pattern: the translate fast path is never touched, TlbStats are
+  /// sampled at snapshot time). Providers capture `this`: not copyable.
+  ~Tlb();
+  Tlb(const Tlb&) = delete;
+  Tlb& operator=(const Tlb&) = delete;
 
   /// Translates the page of `vaddr`, updating both levels. `huge` selects
   /// the 2 MiB-page path (separate L1 array, shared L2).
@@ -90,6 +97,8 @@ class Tlb {
   Level l1_huge_;
   Level l2_;
   TlbStats stats_;
+  obs::Registry* obs_registry_ = nullptr;
+  std::vector<obs::ProviderId> obs_providers_;
 };
 
 }  // namespace impact::sys

@@ -1,6 +1,7 @@
 #include "util/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/assert.hpp"
@@ -27,6 +28,33 @@ void Histogram::add(double value) {
   auto idx = static_cast<std::size_t>((value - lo_) / width_);
   idx = std::min(idx, counts_.size() - 1);
   ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  check(lo_ == other.lo_ && hi_ == other.hi_ &&
+            counts_.size() == other.counts_.size(),
+        "Histogram::merge: incompatible bin shapes");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(total_)));
+  rank = std::clamp<std::size_t>(rank, 1, total_);
+  std::size_t seen = underflow_;
+  if (rank <= seen) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (rank <= seen) return bin_lo(i) + width_ / 2.0;
+  }
+  return hi_;
 }
 
 double Histogram::bin_lo(std::size_t i) const {

@@ -24,6 +24,17 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
 
+  /// Bin-wise accumulation of `other` (snapshot merging across sweep
+  /// cells). Both histograms must share [lo, hi) and the bin count;
+  /// throws std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
+  /// Nearest-rank percentile (`p` clamped to [0, 100]) over bin midpoints;
+  /// underflow resolves to `lo`, overflow to `hi`. An empty histogram has
+  /// no percentiles — returns 0.0 rather than reading a rank that does not
+  /// exist.
+  [[nodiscard]] double percentile(double p) const;
+
   /// Renders an ASCII bar chart, one row per non-empty bin.
   [[nodiscard]] std::string render(std::size_t max_width = 50) const;
 

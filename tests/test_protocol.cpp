@@ -59,7 +59,7 @@ class ScriptedChannel final : public CovertAttack {
 
   [[nodiscard]] std::string name() const override { return "scripted"; }
 
-  TransmissionResult transmit(const util::BitVec& message) override {
+  TransmissionResult do_transmit(const util::BitVec& message) override {
     TransmissionResult r;
     r.sent = message;
     r.decoded = corrupt_(message, transmissions_);

@@ -75,6 +75,33 @@ if [ $? -ne 0 ]; then
   exit 1
 fi
 
+# --- Obs-disabled reference (full runs only) ----------------------------
+# A second build with the telemetry spine compiled out (-DIMPACT_OBS=OFF)
+# quantifies what the "one branch on a cached null handle" fast path costs:
+# the baseline file records both, and docs/observability.md points here.
+# Smoke runs skip it — the committed obs-ON numbers are the regression gate.
+if [ "${SMOKE}" -eq 0 ]; then
+  NOOBS_DIR="${BUILD_DIR}-noobs"
+  cmake -S "${ROOT}" -B "${NOOBS_DIR}" \
+    -DCMAKE_BUILD_TYPE="${BENCH_BUILD_TYPE}" -DIMPACT_SANITIZE="" \
+    -DIMPACT_OBS=OFF > /dev/null \
+    && cmake --build "${NOOBS_DIR}" -j "${JOBS}" \
+         --target bench_simulator_perf
+  if [ $? -ne 0 ]; then
+    echo "bench: obs-disabled build failed" >&2
+    exit 1
+  fi
+  "${NOOBS_DIR}/bench/bench_simulator_perf" \
+    --benchmark_format=json \
+    --benchmark_min_time=${MIN_TIME} \
+    --benchmark_repetitions=3 \
+    > "${TMP_DIR}/micro_noobs.json"
+  if [ $? -ne 0 ]; then
+    echo "bench: obs-disabled bench_simulator_perf failed" >&2
+    exit 1
+  fi
+fi
+
 # --- Sweep scaling (serial vs parallel wall-clock) ----------------------
 SWEEP_ARGS=()
 if [ "${SMOKE}" -eq 1 ]; then
@@ -103,6 +130,11 @@ with open(os.path.join(tmp, "micro.json")) as f:
     micro = json.load(f)
 with open(os.path.join(tmp, "sweep.json")) as f:
     sweep = json.load(f)
+micro_noobs = None
+noobs_path = os.path.join(tmp, "micro_noobs.json")
+if os.path.exists(noobs_path):
+    with open(noobs_path) as f:
+        micro_noobs = json.load(f)
 
 result = {
     "generated_by": "tools/bench.sh",
@@ -124,17 +156,26 @@ result = {
 
 # Best-of across the repetitions (aggregate rows are skipped; the name
 # suffixes cover benchmark-library versions without run_type).
-for b in micro.get("benchmarks", []):
-    name = b["name"]
-    if b.get("run_type") == "aggregate" or name.endswith(
-            ("_mean", "_median", "_stddev", "_cv")):
-        continue
-    entry = result["benchmarks"].setdefault(
-        name, {"items_per_second": 0.0, "cpu_time_ns": 0.0})
-    ips = b.get("items_per_second", 0.0)
-    if ips >= entry["items_per_second"]:
-        entry["items_per_second"] = ips
-        entry["cpu_time_ns"] = b.get("cpu_time", 0.0)
+def best_of(run):
+    out = {}
+    for b in run.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate" or name.endswith(
+                ("_mean", "_median", "_stddev", "_cv")):
+            continue
+        entry = out.setdefault(
+            name, {"items_per_second": 0.0, "cpu_time_ns": 0.0})
+        ips = b.get("items_per_second", 0.0)
+        if ips >= entry["items_per_second"]:
+            entry["items_per_second"] = ips
+            entry["cpu_time_ns"] = b.get("cpu_time", 0.0)
+    return out
+
+result["benchmarks"] = best_of(micro)
+if micro_noobs is not None:
+    # Same benchmarks from the -DIMPACT_OBS=OFF build: the measured cost
+    # of the compiled-in (but scope-less) instrumentation fast path.
+    result["obs_disabled_benchmarks"] = best_of(micro_noobs)
 
 if not smoke:
     with open(baseline_path, "w") as f:

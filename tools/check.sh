@@ -9,7 +9,10 @@
 #      recover; everything else must be unaffected (injection is opt-in),
 #   4. a ThreadSanitizer build + the exec-engine tests under it (TSan and
 #      ASan cannot share a binary, so this is a separate build tree),
-#   5. tools/bench.sh --smoke: fails on >20% items/sec regression against
+#   5. obs spine: a -DIMPACT_OBS=OFF build + full ctest (the telemetry
+#      spine must compile away cleanly), then quickstart --trace JSON
+#      validation (dram/pim/channel spans present, events well-formed),
+#   6. tools/bench.sh --smoke: fails on >20% items/sec regression against
 #      the committed BENCH_simulator.json baseline.
 #
 # Exits non-zero if any stage fails and prints a per-stage summary. Stages
@@ -119,14 +122,62 @@ else
   FAILED=1
 fi
 
-# --- Stage 5: benchmark smoke (throughput regression gate) --------------
+# --- Stage 5: obs spine (compile-out build + trace validation) ----------
+# Two halves. (a) -DIMPACT_OBS=OFF: the whole telemetry spine must compile
+# away cleanly and the full suite must still pass (scope-mediated obs tests
+# skip themselves). (b) In the sanitizer build, quickstart --trace must
+# export Chrome trace JSON that parses and carries spans from the dram,
+# pim, and channel layers — the end-to-end acceptance of the spine.
+OBS_DIR="${ROOT}/build-noobs"
+cmake -S "${ROOT}" -B "${OBS_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIMPACT_OBS=OFF \
+  > /dev/null \
+  && cmake --build "${OBS_DIR}" -j "${JOBS}"
+rc=$?
+if [ $rc -eq 0 ]; then
+  ( cd "${OBS_DIR}" \
+    && IMPACT_CHECK=1 ctest --output-on-failure -j "${JOBS}" )
+  rc=$?
+fi
+if [ $rc -eq 0 ] && [ "${STATUS[sanitizer-build]}" = "PASS" ]; then
+  TRACE_JSON="${OBS_DIR}/quickstart_trace.json"
+  "${BUILD_DIR}/examples/quickstart" --trace "${TRACE_JSON}" > /dev/null \
+    && TRACE_JSON="${TRACE_JSON}" python3 - <<'EOF'
+import json
+import os
+import sys
+
+with open(os.environ["TRACE_JSON"]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+cats = {e["cat"] for e in events}
+missing = {"dram", "pim", "channel"} - cats
+if not events:
+    print("obs: trace has no events", file=sys.stderr)
+    sys.exit(1)
+if missing:
+    print(f"obs: trace missing layer spans: {sorted(missing)}",
+          file=sys.stderr)
+    sys.exit(1)
+for e in events:
+    if e["ph"] not in ("X", "i") or "ts" not in e or "name" not in e:
+        print(f"obs: malformed event: {e}", file=sys.stderr)
+        sys.exit(1)
+print(f"obs: trace ok ({len(events)} events, layers {sorted(cats)})")
+EOF
+  rc=$?
+fi
+stage obs $rc
+
+# --- Stage 6: benchmark smoke (throughput regression gate) --------------
 "${ROOT}/tools/bench.sh" --smoke "${ROOT}/build-bench"
 stage bench-smoke $?
 
 # --- Summary ------------------------------------------------------------
 echo
 echo "== check summary"
-for s in clang-tidy sanitizer-build ctest fault tsan-exec bench-smoke; do
+for s in clang-tidy sanitizer-build ctest fault tsan-exec obs bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

@@ -49,6 +49,8 @@ int main() {
     fault::Injector injector(90210, faults);
     system.set_fault_injector(&injector);
 
+    // Seed pinned: stream shared with bench_ablation_noise; EXPERIMENTS.md records 4/13 residuals.
+    // SIMLINT-ALLOW(nondet-seed): recorded outputs depend on this stream.
     util::Xoshiro256 rng(51);
     const auto message = util::BitVec::random(256, rng);
 

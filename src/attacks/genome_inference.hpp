@@ -26,6 +26,9 @@
 #include <cstdint>
 #include <vector>
 
+// The genomics victim model is this attack's input surface (§6 leakage
+// target); genomics never includes attacks, so the DAG stays acyclic.
+// SIMLINT-ALLOW(layering): genomics victim model feeds this attack.
 #include "genomics/seed_table.hpp"
 #include "util/units.hpp"
 

@@ -29,6 +29,8 @@ Cache::Cache(CacheConfig config) : config_(std::move(config)) {
   }
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 bool Cache::access(LineAddr line, bool is_write) {
   const std::uint32_t set = set_index(line);
   const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
@@ -105,6 +107,7 @@ std::optional<Eviction> Cache::fill_known_miss(LineAddr line, bool dirty) {
   assert(find_way(base, meta_base(set), line) == kNoWay);
   return install(set, base, line, dirty);
 }
+// SIMLINT-HOT-END
 
 std::optional<Eviction> Cache::invalidate(LineAddr line) {
   const std::uint32_t set = set_index(line);

@@ -131,6 +131,8 @@ void Hierarchy::issue_prefetches(const std::vector<LineAddr>& candidates,
   }
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
                                   bool is_write, std::uint64_t pc) {
   const LineAddr line = line_of(addr);
@@ -207,6 +209,7 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
   }
   return r;
 }
+// SIMLINT-HOT-END
 
 util::Cycle Hierarchy::clflush(dram::PhysAddr addr, util::Cycle now) {
   const LineAddr line = line_of(addr);

@@ -43,6 +43,8 @@ inline constexpr std::uint8_t kRrpvInsert = 2;  // Long re-reference.
 void reset(ReplacementKind kind, std::span<std::uint8_t> meta);
 
 /// Marks `way` as just accessed (hit promotion).
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 inline void touch(ReplacementKind kind, std::span<std::uint8_t> meta,
                   std::uint32_t way) {
   assert(way < meta.size());
@@ -122,6 +124,7 @@ inline void insert(ReplacementKind kind, std::span<std::uint8_t> meta,
   }
   return best;
 }
+// SIMLINT-HOT-END
 
 }  // namespace repl
 }  // namespace impact::cache

@@ -35,6 +35,8 @@ RowBufferOutcome Bank::resolve_outcome(RowId row, util::Cycle start) {
   return (*open == row) ? RowBufferOutcome::kHit : RowBufferOutcome::kConflict;
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 BankAccessResult Bank::access(RowId row, util::Cycle now) {
   BankAccessResult r;
   // Apply elapsed refresh/timeout state first: both may move ready_at_.
@@ -186,6 +188,7 @@ BankAccessResult Bank::rowclone(RowId src, RowId dst, util::Cycle now) {
   notify(CommandKind::kRowClone, dst, src, now, r, true_outcome);
   return r;
 }
+// SIMLINT-HOT-END
 
 void Bank::stall_until(util::Cycle cycle) {
   ready_at_ = std::max(ready_at_, cycle);
@@ -209,6 +212,9 @@ void Bank::precharge(util::Cycle now) {
 void Bank::notify_observer(CommandKind kind, RowId row, RowId src,
                            util::Cycle issue, const BankAccessResult& r,
                            RowBufferOutcome true_outcome) {
+  // Callers guard via notify()'s inline fast path, but the seam contract
+  // (observers are optional) must hold for direct calls too.
+  if (observer_ == nullptr) return;
   CommandRecord rec;
   rec.kind = kind;
   rec.bank = id_;

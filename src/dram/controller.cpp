@@ -90,6 +90,8 @@ void MemoryController::rewire_observers() {
   }
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 AccessResult MemoryController::access(PhysAddr addr, util::Cycle now,
                                       ActorId actor) {
   const DramAddress loc = mapping_.decode(addr);
@@ -183,6 +185,7 @@ void MemoryController::rowclone_into(std::span<const RowCloneLeg> legs,
     for (auto& b : banks_) b.stall_until(max_completion);
   }
 }
+// SIMLINT-HOT-END
 
 std::optional<RowId> MemoryController::open_row(BankId bank, util::Cycle now) {
   return bank_for(bank).open_row(now);

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "dram/config.hpp"
+// Graph drivers consume the sweep engine as a library; exec never
+// includes graph, so the DAG stays acyclic.
+// SIMLINT-ALLOW(layering): sweep engine consumed as a library.
 #include "exec/sweep.hpp"
 #include "graph/graph.hpp"
 #include "graph/workload.hpp"

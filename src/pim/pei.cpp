@@ -15,6 +15,8 @@ PeiDispatcher::PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
   }
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
                                  PeiKind /*kind*/) {
   PeiResult r;
@@ -65,6 +67,7 @@ PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
   }
   return r;
 }
+// SIMLINT-HOT-END
 
 std::uint32_t PeiDispatcher::next_bypass_column(std::uint32_t row_bytes,
                                                 std::uint32_t line_bytes) {

@@ -18,6 +18,8 @@ RowCloneUnit::RowCloneUnit(RowCloneConfig config, sys::MemorySystem& system,
   }
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 void RowCloneUnit::execute_into(const RowCloneRequest& request,
                                 util::Cycle& clock, bool atomic,
                                 dram::RowCloneResult& out) {
@@ -61,5 +63,6 @@ void RowCloneUnit::execute_into(const RowCloneRequest& request,
     obs_trace_->span("pim", "rowclone", clock - out.latency, clock, actor_);
   }
 }
+// SIMLINT-HOT-END
 
 }  // namespace impact::pim

@@ -20,6 +20,8 @@ Tlb::Level::Level(const TlbLevelConfig& c)
   }
 }
 
+// SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
 bool Tlb::Level::lookup(std::uint64_t page) {
   const std::size_t base = static_cast<std::size_t>(set_of(page)) * ways;
   for (std::uint32_t w = 0; w < ways; ++w) {
@@ -105,6 +107,7 @@ TlbResult Tlb::translate(std::uint64_t vaddr, bool huge) {
   l1.fill(page);
   return r;
 }
+// SIMLINT-HOT-END
 
 void Tlb::warm(std::uint64_t vaddr, bool huge) {
   const std::uint64_t page =

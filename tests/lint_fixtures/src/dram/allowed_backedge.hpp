@@ -1,0 +1,10 @@
+// Suppression fixture: the same back-edge as backedge.hpp, but carrying
+// an inline justification; the test asserts it is NOT reported.
+#pragma once
+
+// SIMLINT-ALLOW(layering): fixture-declared exception.
+#include "channel/wire.hpp"
+
+namespace fix::dram {
+inline int allowed_width() { return fix::channel::lanes(); }
+}  // namespace fix::dram

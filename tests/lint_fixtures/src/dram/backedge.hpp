@@ -1,0 +1,9 @@
+// Seeded layering violation: dram (rank 2) must not include channel
+// (rank 5). This is the synthetic back-edge the acceptance test pins.
+#pragma once
+
+#include "channel/wire.hpp"
+
+namespace fix::dram {
+inline int width() { return fix::channel::lanes(); }
+}  // namespace fix::dram

@@ -1,0 +1,26 @@
+// Seeded hot-path violations inside a marked region; the identical
+// constructs after SIMLINT-HOT-END must be clean.
+#include <iostream>
+#include <string>
+
+#include "util/base.hpp"
+
+namespace fix::dram {
+
+int counter(const char* name);
+
+// SIMLINT-HOT-BEGIN: fixture fast path.
+inline int hot_access(int row) {
+  std::string label = "row";               // hot-string (line 14)
+  std::cout << label << std::endl;         // hot-endl (line 15)
+  return counter("dram.row_hits") + row;   // hot-resolve (line 16)
+}
+// SIMLINT-HOT-END
+
+inline int cold_access(int row) {
+  std::string label = "row";
+  std::cout << label << std::endl;
+  return counter("dram.row_hits") + row;
+}
+
+}  // namespace fix::dram

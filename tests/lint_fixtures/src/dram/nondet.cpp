@@ -1,0 +1,36 @@
+// Seeded determinism violations: exactly one per nondet-* rule family,
+// each on a line the test pins by number.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+#include "util/base.hpp"
+
+namespace fix::dram {
+
+unsigned ambient_entropy() {
+  std::random_device dev;  // nondet-random-device (line 13)
+  return dev();
+}
+
+int hidden_global_stream() {
+  return std::rand();  // nondet-rand (line 18)
+}
+
+long host_wallclock() {
+  return static_cast<long>(std::time(nullptr));  // nondet-wallclock (line 22)
+}
+
+long host_chrono() {
+  return std::chrono::steady_clock::now()  // nondet-chrono-clock (line 26)
+      .time_since_epoch()
+      .count();
+}
+
+int frozen_seed() {
+  std::mt19937 rng{42};  // nondet-seed (line 32)
+  return static_cast<int>(rng());
+}
+
+}  // namespace fix::dram

@@ -1,0 +1,31 @@
+// Seeded seam violation: an observer deref with no null check in its
+// function, next to the two guarded clean forms.
+#include "util/base.hpp"
+
+namespace fix::dram {
+
+struct Observer {
+  virtual void on_command(int row) = 0;
+  virtual ~Observer() = default;
+};
+
+class Bank {
+ public:
+  void unguarded(int row) {
+    observer_->on_command(row);  // seam-unguarded (line 15)
+  }
+
+  void guarded(int row) {
+    if (observer_ != nullptr) observer_->on_command(row);  // clean
+  }
+
+  void boolean_guarded(int row) {
+    if (!observer_) return;
+    observer_->on_command(row);  // clean: guarded earlier in the function
+  }
+
+ private:
+  Observer* observer_ = nullptr;
+};
+
+}  // namespace fix::dram

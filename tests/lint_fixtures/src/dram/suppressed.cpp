@@ -1,0 +1,25 @@
+// Inline suppressions: the same-line form, the line-above form, and the
+// '*' wildcard. None of these may be reported.
+#include <cstdlib>
+#include <random>
+
+#include "util/base.hpp"
+
+namespace fix::dram {
+
+int justified_entropy() {
+  std::random_device dev;  // SIMLINT-ALLOW(nondet-random-device): fixture.
+  return static_cast<int>(dev());
+}
+
+int justified_seed() {
+  // SIMLINT-ALLOW(nondet-seed): recorded fixture stream.
+  std::mt19937 rng{7};
+  return static_cast<int>(rng());
+}
+
+int wildcard() {
+  return std::rand();  // SIMLINT-ALLOW(*): anything goes here.
+}
+
+}  // namespace fix::dram

@@ -1,0 +1,10 @@
+// A suppression naming the WRONG rule must not mask the finding: the
+// back-edge below still has to be reported as a layering violation.
+#pragma once
+
+// SIMLINT-ALLOW(nondet-rand): wrong rule on purpose.
+#include "channel/wire.hpp"
+
+namespace fix::dram {
+inline int wrong_allow_width() { return fix::channel::lanes(); }
+}  // namespace fix::dram

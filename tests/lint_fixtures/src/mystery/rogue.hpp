@@ -1,0 +1,9 @@
+// A layer nobody registered: any cross-layer edge it takes must be
+// reported until the DAG (and docs) learn about it.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fix::mystery {
+inline int rogue() { return fix::util::kAnswer; }
+}  // namespace fix::mystery

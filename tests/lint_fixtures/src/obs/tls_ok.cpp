@@ -1,0 +1,12 @@
+// thread_local is allowed in the obs layer (per-thread telemetry
+// scratch, mirroring src/obs/scope.cpp), so this file must be clean.
+#include "util/base.hpp"
+
+namespace fix::obs {
+
+int* depth_slot() {
+  thread_local int depth = 0;
+  return &depth;
+}
+
+}  // namespace fix::obs

@@ -1,0 +1,22 @@
+// Seeded concurrency violations: mutable namespace-scope state, a
+// mutable static data member, and a thread_local outside the obs
+// allowlist — next to the instance-owned / constexpr clean forms.
+#include "util/base.hpp"
+
+namespace fix::pim {
+
+int g_inflight = 0;  // global-state (line 8)
+
+struct Stats {
+  static int s_total;   // global-state (line 11)
+  int per_instance = 0; // clean: instance member
+};
+
+int scratch_slot() {
+  thread_local int scratch = 0;  // thread-local (line 16)
+  return scratch;
+}
+
+constexpr int kLanes = 8;  // clean: constexpr namespace-scope state
+
+}  // namespace fix::pim

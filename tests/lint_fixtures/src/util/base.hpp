@@ -1,0 +1,11 @@
+// Clean leaf header: the fixture tree's "util" layer. Everything here is
+// rule-clean so it can double as the control in the counterpart tests.
+#pragma once
+
+namespace fix::util {
+
+constexpr int kAnswer = 42;
+
+inline int twice(int x) { return 2 * x; }
+
+}  // namespace fix::util

@@ -1,0 +1,8 @@
+// Half of the seeded include cycle (with cycle_b.hpp).
+#pragma once
+
+#include "util/cycle_b.hpp"
+
+namespace fix::util {
+inline int a() { return 1; }
+}  // namespace fix::util

@@ -1,0 +1,8 @@
+// Other half of the seeded include cycle (with cycle_a.hpp).
+#pragma once
+
+#include "util/cycle_a.hpp"
+
+namespace fix::util {
+inline int b() { return 2; }
+}  // namespace fix::util

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # The repo's one-command correctness gate:
 #
+#   0. simlint (tools/simlint): layering, determinism, concurrency, seam,
+#      and hot-path invariants over src/ against the committed baseline,
+#      plus the determinism rules over bench/ and examples/ — the cheapest
+#      stage, so it runs first (docs/static-analysis.md),
 #   1. clang-tidy over src/ (.clang-tidy profile, warnings-as-errors),
 #   2. an ASan+UBSan build with -Werror of every target,
 #   3. the full ctest suite under the sanitizers with IMPACT_CHECK=1,
@@ -40,6 +44,27 @@ stage() { # name exit_code
 }
 
 echo "== impact check: root=${ROOT} build=${BUILD_DIR} jobs=${JOBS}"
+
+# --- Stage 0: simlint (project-specific static analyzer) ----------------
+# Layering/determinism/concurrency/seam/hot-path violations fail in
+# seconds, before any sanitizer build. Shares the plain build tree with
+# clang-tidy: the analyzer itself must not be sanitizer-instrumented.
+TIDY_DIR="${ROOT}/build-tidy"
+cmake -S "${ROOT}" -B "${TIDY_DIR}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  > /dev/null \
+  && cmake --build "${TIDY_DIR}" -j "${JOBS}" --target simlint_tool \
+  > /dev/null
+rc=$?
+if [ $rc -eq 0 ]; then
+  "${TIDY_DIR}/tools/simlint/simlint" \
+      --root "${ROOT}/src" \
+      --baseline "${ROOT}/tools/simlint/baseline.txt" \
+  && "${TIDY_DIR}/tools/simlint/simlint" \
+      --root "${ROOT}/bench" --root "${ROOT}/examples" \
+      --rules "nondet-seed,nondet-random-device,nondet-rand,global-state,thread-local"
+  rc=$?
+fi
+stage lint $rc
 
 # --- Stage 1: clang-tidy ------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -177,7 +202,7 @@ stage bench-smoke $?
 # --- Summary ------------------------------------------------------------
 echo
 echo "== check summary"
-for s in clang-tidy sanitizer-build ctest fault tsan-exec obs bench-smoke; do
+for s in lint clang-tidy sanitizer-build ctest fault tsan-exec obs bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

@@ -10,7 +10,9 @@
 #include "cache/cache.hpp"
 #include "channel/protocol.hpp"
 #include "cache/hierarchy.hpp"
+#include "dram/access_batch.hpp"
 #include "dram/controller.hpp"
+#include "graph/multiprog.hpp"
 #include "pim/pei.hpp"
 #include "sys/system.hpp"
 #include "sys/tlb.hpp"
@@ -85,6 +87,10 @@ void BM_CovertChannelBit(benchmark::State& state) {
   for (int i = 0; i < 64; ++i) {
     messages.push_back(util::BitVec::random(16, rng));
   }
+  // Threshold calibration runs lazily inside the first transmit; one
+  // warmup send hoists it so the timed region measures steady-state
+  // transmission only.
+  (void)attack.transmit(messages[0]);
   std::size_t next = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(attack.transmit(messages[next]));
@@ -111,6 +117,9 @@ void BM_ProtocolTransmit(benchmark::State& state) {
   for (int i = 0; i < 64; ++i) {
     messages.push_back(util::BitVec::random(16, rng));
   }
+  // As in BM_CovertChannelBit: the underlying channel calibrates on its
+  // first use — hoist that out of the timed region with one warmup frame.
+  (void)protocol.send(messages[0]);
   std::size_t next = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(protocol.send(messages[next]));
@@ -120,6 +129,54 @@ void BM_ProtocolTransmit(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * 16));
 }
 BENCHMARK(BM_ProtocolTransmit);
+
+void BM_AccessBatch(benchmark::State& state) {
+  // The SoA batch kernel over random streams: items are individual DRAM
+  // accesses, so items/s is directly comparable to BM_DramAccess — the
+  // gap is the amortized per-access dispatch overhead.
+  constexpr std::size_t kBatch = 256;
+  dram::DramConfig config;
+  dram::MemoryController mc(config);
+  util::Xoshiro256 rng(exec::derive_seed(kSeedBase, 8));
+  dram::AccessBatch batch;
+  batch.reserve(kBatch);
+  util::Cycle clock = 0;
+  for (auto _ : state) {
+    batch.clear();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push(rng.below(config.capacity_bytes()), clock);
+      clock += 100;
+    }
+    mc.access_batch(batch);
+    benchmark::DoNotOptimize(batch.latency.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_AccessBatch);
+
+void BM_MultiprogReplay(benchmark::State& state) {
+  // Fig. 11's inner loop: two co-scheduled instances replaying one shared
+  // trace. The input build (RMAT + trace generation) happens once, outside
+  // the timed region; items are replayed trace operations, both instances
+  // combined.
+  graph::MultiprogConfig config;
+  config.rmat_scale = 12;
+  config.edge_count = 32768;
+  config.system.cache_scale = 512;
+  const graph::WorkloadInput input =
+      graph::build_input(config, graph::WorkloadKind::kBFS);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto stats = graph::run_multiprogrammed(
+        config, input, dram::RowPolicy::kOpenRow);
+    instructions = stats.instructions;
+    benchmark::DoNotOptimize(instructions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * instructions));
+}
+BENCHMARK(BM_MultiprogReplay);
 
 // --- Per-level microbenchmarks (PR 3): isolate the flat-layout fast
 // paths from the full-hierarchy composite above. ---

@@ -104,7 +104,12 @@ channel::TransmissionResult RowBufferChannelBase::do_transmit(
   const std::uint32_t m = config_.batch_bits;
   std::size_t next_receive = 0;
   const std::uint32_t threads = std::max(1u, config_.sender_threads);
-  std::vector<util::Cycle> worker_clocks(threads, sender_clock_);
+  const std::uint32_t rthreads = std::max(1u, config_.receiver_threads);
+  worker_clocks_.assign(threads, sender_clock_);
+  // Per-batch bank/bit staging for the batched hooks (capacity persists
+  // across batches and transmissions).
+  batch_banks_.resize(m);
+  batch_bits_.resize(m);
 
   // The driver alternates sender and receiver batches in program order;
   // simulated time still overlaps them, because the receiver's clock only
@@ -112,18 +117,30 @@ channel::TransmissionResult RowBufferChannelBase::do_transmit(
   // sender/receiver latency overlap).
   for (std::size_t base = 0; base < n; base += m) {
     const std::size_t batch_end = std::min(n, base + m);
-    // --- Sender: transmit this batch (round-robin over threads). ------
-    for (auto& c : worker_clocks) c = std::max(c, sender_clock_);
+    const std::size_t count = batch_end - base;
     for (std::size_t i = base; i < batch_end; ++i) {
-      const std::uint32_t bank =
-          static_cast<std::uint32_t>(i % config_.banks);
-      util::Cycle& clock = worker_clocks[(i - base) % threads];
-      send_bit(bank, message.get(i), clock);
+      batch_banks_[i - base] = static_cast<std::uint32_t>(i % config_.banks);
+      batch_bits_[i - base] = static_cast<std::uint8_t>(message.get(i));
     }
-    // Join: the batch is transmitted when the slowest worker finishes.
-    sender_clock_ =
-        *std::max_element(worker_clocks.begin(), worker_clocks.end());
-    if (threads > 1) sender_clock_ += config_.join_cost;
+    // --- Sender: transmit this batch (round-robin over threads). ------
+    if (threads == 1) {
+      // Single-core sender: the lone worker clock always equals
+      // sender_clock_ at batch start (it is synced to it and never runs
+      // ahead past the fence), so the batch runs directly on
+      // sender_clock_ through one batched-hook call — bit-identical to
+      // the per-thread path, without the staging vector and join scan.
+      send_run(batch_banks_.data(), batch_bits_.data(), count, sender_clock_);
+    } else {
+      for (auto& c : worker_clocks_) c = std::max(c, sender_clock_);
+      for (std::size_t i = base; i < batch_end; ++i) {
+        util::Cycle& clock = worker_clocks_[(i - base) % threads];
+        send_bit(batch_banks_[i - base], batch_bits_[i - base] != 0, clock);
+      }
+      // Join: the batch is transmitted when the slowest worker finishes.
+      sender_clock_ =
+          *std::max_element(worker_clocks_.begin(), worker_clocks_.end());
+      sender_clock_ += config_.join_cost;
+    }
     sender_clock_ += config_.fence_cost;  // mfence before signalling.
     if (faults == nullptr) {
       batches_ready.post(sender_clock_);
@@ -151,21 +168,28 @@ channel::TransmissionResult RowBufferChannelBase::do_transmit(
       // schedule slides relative to the sender's batches.
       receiver_clock_ += faults->clock_drift(receiver_clock_);
     }
-    const std::uint32_t rthreads = std::max(1u, config_.receiver_threads);
-    std::vector<util::Cycle> probe_clocks(rthreads, receiver_clock_);
-    for (std::size_t i = next_receive; i < batch_end; ++i) {
-      const std::uint32_t bank =
-          static_cast<std::uint32_t>(i % config_.banks);
-      util::Cycle& clock = probe_clocks[(i - next_receive) % rthreads];
-      const double latency = probe(bank, clock);
-      last_latencies_[i] = latency;
-      if (threshold_ > 0.0) {
-        result.decoded.set(i, channel::decode_bit(latency, threshold_));
+    if (rthreads == 1) {
+      // Single-core receiver: one batched-hook call on receiver_clock_
+      // (each fresh probe-clock vector would start at receiver_clock_ and
+      // its max over one element is itself).
+      probe_run(batch_banks_.data(), count, receiver_clock_,
+                last_latencies_.data() + next_receive);
+    } else {
+      probe_clocks_.assign(rthreads, receiver_clock_);
+      for (std::size_t i = next_receive; i < batch_end; ++i) {
+        util::Cycle& clock = probe_clocks_[(i - next_receive) % rthreads];
+        last_latencies_[i] = probe(batch_banks_[i - next_receive], clock);
+      }
+      receiver_clock_ =
+          *std::max_element(probe_clocks_.begin(), probe_clocks_.end());
+      receiver_clock_ += config_.join_cost;
+    }
+    if (threshold_ > 0.0) {
+      for (std::size_t i = next_receive; i < batch_end; ++i) {
+        result.decoded.set(i,
+                           channel::decode_bit(last_latencies_[i], threshold_));
       }
     }
-    receiver_clock_ =
-        *std::max_element(probe_clocks.begin(), probe_clocks.end());
-    if (rthreads > 1) receiver_clock_ += config_.join_cost;
     next_receive = batch_end;
   }
 

@@ -108,6 +108,30 @@ class RowBufferChannelBase : public channel::CovertAttack {
   /// `clock` by everything the probe costs (including measurement).
   virtual double probe(std::uint32_t bank, util::Cycle& clock) = 0;
 
+  // --- Batched hooks (tentpole perf path) -----------------------------
+  // do_transmit drives a whole batch through one virtual call when a side
+  // runs single-threaded; primitives with a batch kernel (IMPACT-PnM via
+  // PeiDispatcher::execute_batch) override these. The defaults fall back
+  // to the scalar hooks, so every subclass stays correct unmodified. An
+  // override MUST advance `clock` and produce latencies bit-identically
+  // to the equivalent scalar loop — tests/test_access_batch.cpp pins this.
+
+  /// Sender-side run: transmits bits[k] into banks[k] for k in [0, count).
+  virtual void send_run(const std::uint32_t* banks, const std::uint8_t* bits,
+                        std::size_t count, util::Cycle& clock) {
+    for (std::size_t k = 0; k < count; ++k) {
+      send_bit(banks[k], bits[k] != 0, clock);
+    }
+  }
+
+  /// Receiver-side run: probes banks[k], writing latencies[k].
+  virtual void probe_run(const std::uint32_t* banks, std::size_t count,
+                         util::Cycle& clock, double* latencies) {
+    for (std::size_t k = 0; k < count; ++k) {
+      latencies[k] = probe(banks[k], clock);
+    }
+  }
+
   /// Access to per-bank spans mapped in setup().
   [[nodiscard]] sys::VAddr receiver_addr(std::uint32_t bank) const {
     return receiver_spans_[bank].vaddr;
@@ -137,6 +161,13 @@ class RowBufferChannelBase : public channel::CovertAttack {
   util::Cycle sender_clock_ = 0;
   util::Cycle receiver_clock_ = 0;
   std::size_t last_sync_timeouts_ = 0;
+  // Reusable per-batch scratch (do_transmit is not reentrant; the one
+  // nested call — calibration inside ensure_ready() — completes before
+  // the outer transmit touches these).
+  std::vector<std::uint32_t> batch_banks_;
+  std::vector<std::uint8_t> batch_bits_;
+  std::vector<util::Cycle> worker_clocks_;
+  std::vector<util::Cycle> probe_clocks_;
 };
 
 }  // namespace impact::attacks

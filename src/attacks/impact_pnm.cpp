@@ -31,4 +31,58 @@ double ImpactPnm::probe(std::uint32_t bank, util::Cycle& clock) {
   return static_cast<double>(t1 - t0);
 }
 
+// SIMLINT-HOT-BEGIN: per-batch fast path — no allocation, no
+// std::string, no by-name registry resolves (docs/static-analysis.md).
+void ImpactPnm::send_run(const std::uint32_t* banks, const std::uint8_t* bits,
+                         std::size_t count, util::Cycle& clock) {
+  reserve_run(count);
+  const std::uint32_t row_bytes = system().controller().config().row_bytes;
+  // Gather maximal runs of 1-bits into one execute_batch each; 0-bits are
+  // pure clock advances. The bypass-column cursor sees exactly the scalar
+  // call sequence (one draw per 1-bit, in bit order).
+  std::size_t k = 0;
+  while (k < count) {
+    if (bits[k] == 0) {
+      clock += config().sender_nop_cost;
+      ++k;
+      continue;
+    }
+    std::size_t run = 0;
+    while (k + run < count && bits[k + run] != 0) {
+      vaddr_scratch_[run] =
+          sender_addr(banks[k + run]) +
+          sender_pei_.next_bypass_column(row_bytes, 64);
+      ++run;
+    }
+    sender_pei_.execute_batch(vaddr_scratch_.data(), run, clock,
+                              /*pre_cost=*/0, /*post_cost=*/0,
+                              pei_scratch_.data());
+    k += run;
+  }
+}
+
+void ImpactPnm::probe_run(const std::uint32_t* banks, std::size_t count,
+                          util::Cycle& clock, double* latencies) {
+  reserve_run(count);
+  const std::uint32_t row_bytes = system().controller().config().row_bytes;
+  for (std::size_t k = 0; k < count; ++k) {
+    vaddr_scratch_[k] =
+        receiver_addr(banks[k]) +
+        receiver_pei_.next_bypass_column(row_bytes, 64);
+  }
+  // Fold the scalar probe's timer bracket (serialized read before, fast
+  // read after) into per-op pre/post costs: t1 - t0 reduces to the PEI
+  // latency plus the closing rdtscp.
+  const sys::TimerConfig& tc = system().timestamp().config();
+  receiver_pei_.execute_batch(vaddr_scratch_.data(), count, clock,
+                              /*pre_cost=*/tc.cpuid_cost + tc.rdtscp_cost,
+                              /*post_cost=*/tc.rdtscp_cost,
+                              pei_scratch_.data());
+  for (std::size_t k = 0; k < count; ++k) {
+    latencies[k] =
+        static_cast<double>(pei_scratch_[k].latency + tc.rdtscp_cost);
+  }
+}
+// SIMLINT-HOT-END
+
 }  // namespace impact::attacks

@@ -35,9 +35,27 @@ class ImpactPnm final : public RowBufferChannelBase {
   void send_bit(std::uint32_t bank, bool bit, util::Cycle& clock) override;
   double probe(std::uint32_t bank, util::Cycle& clock) override;
 
+  // Batched kernels over PeiDispatcher::execute_batch; bit-identical to
+  // the scalar hooks (pinned by tests/test_access_batch.cpp).
+  void send_run(const std::uint32_t* banks, const std::uint8_t* bits,
+                std::size_t count, util::Cycle& clock) override;
+  void probe_run(const std::uint32_t* banks, std::size_t count,
+                 util::Cycle& clock, double* latencies) override;
+
  private:
+  /// Grows the run staging arrays to hold `count` ops (amortized; no
+  /// allocation in steady state, where batch sizes repeat).
+  void reserve_run(std::size_t count) {
+    if (vaddr_scratch_.size() < count) {
+      vaddr_scratch_.resize(count);
+      pei_scratch_.resize(count);
+    }
+  }
+
   pim::PeiDispatcher sender_pei_;
   pim::PeiDispatcher receiver_pei_;
+  std::vector<sys::VAddr> vaddr_scratch_;
+  std::vector<pim::PeiResult> pei_scratch_;
 };
 
 }  // namespace impact::attacks

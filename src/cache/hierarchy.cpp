@@ -209,6 +209,16 @@ MemAccessResult Hierarchy::access(dram::PhysAddr addr, util::Cycle now,
   }
   return r;
 }
+
+void Hierarchy::access_batch(const dram::PhysAddr* addrs,
+                             const util::Cycle* issue, std::size_t n,
+                             MemAccessResult* results, bool is_write) {
+  // Stateful in-order front end (see header): one tight loop over the
+  // scalar body keeps every replacement/prefetcher decision identical.
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = access(addrs[i], issue[i], is_write);
+  }
+}
 // SIMLINT-HOT-END
 
 util::Cycle Hierarchy::clflush(dram::PhysAddr addr, util::Cycle now) {

@@ -83,6 +83,19 @@ class Hierarchy {
   MemAccessResult access(dram::PhysAddr addr, util::Cycle now,
                          bool is_write = false, std::uint64_t pc = 0);
 
+  /// Batched front end of the access-stream API (docs/performance.md,
+  /// "Batched access streams"): resolves `n` independently-issued demand
+  /// accesses, filling `results[i]` bit-identically to
+  /// `access(addrs[i], issue[i], is_write)` in index order. Hits are
+  /// filtered in the flat tag arrays; only misses reach the controller.
+  /// Cache state (replacement, prefetchers, inclusive invalidation) chains
+  /// through the stream exactly as in the scalar sequence — this is the
+  /// stateful front end of the batch path, so requests are processed in
+  /// order rather than grouped.
+  void access_batch(const dram::PhysAddr* addrs, const util::Cycle* issue,
+                    std::size_t n, MemAccessResult* results,
+                    bool is_write = false);
+
   /// x86 `clflush`: probes the LLC, writes back if dirty (write-back latency
   /// lands on the critical path, §3.2), invalidates everywhere. Returns the
   /// instruction latency.

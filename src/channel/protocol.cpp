@@ -58,11 +58,11 @@ bool preamble_bit(std::size_t i, std::size_t n) {
 
 }  // namespace
 
-util::BitVec FramedProtocol::build_frame(std::size_t seq,
-                                         const util::BitVec& message,
-                                         std::size_t base,
-                                         std::size_t len) const {
-  util::BitVec frame;
+void FramedProtocol::build_frame_into(std::size_t seq,
+                                      const util::BitVec& message,
+                                      std::size_t base, std::size_t len,
+                                      util::BitVec& frame) const {
+  frame.clear();
   for (std::size_t i = 0; i < config_.preamble_bits; ++i) {
     frame.push_back(preamble_bit(i, config_.preamble_bits));
   }
@@ -77,7 +77,6 @@ util::BitVec FramedProtocol::build_frame(std::size_t seq,
   for (std::size_t i = 0; i < 8; ++i) {
     frame.push_back(((crc >> i) & 1u) != 0);
   }
-  return frame;
 }
 
 bool FramedProtocol::parse_frame(const util::BitVec& wire, std::size_t seq,
@@ -116,7 +115,7 @@ bool FramedProtocol::parse_frame(const util::BitVec& wire, std::size_t seq,
   }
   if (got_seq != (seq & seq_mask)) return false;
 
-  payload = util::BitVec(len);
+  payload.assign(len);
   for (std::size_t i = 0; i < len; ++i) {
     payload.set(i, wire.get(header_begin + config_.seq_bits + i));
   }
@@ -136,26 +135,30 @@ ProtocolResult FramedProtocol::send(const util::BitVec& message) {
     const std::size_t base = f * config_.payload_bits;
     const std::size_t len =
         std::min(config_.payload_bits, message.size() - base);
-    const util::BitVec frame = build_frame(f, message, base, len);
+    build_frame_into(f, message, base, len, frame_scratch_);
 
-    util::BitVec wire;
+    // The uncoded configuration sends the frame itself; coded ones encode
+    // into the reusable wire buffer.
+    const util::BitVec* wire = &frame_scratch_;
     switch (config_.code) {
       case CodeKind::kNone:
-        wire = frame;
         break;
       case CodeKind::kRepetition3:
-        wire = encode_repetition(frame, 3);
+        wire_scratch_ = encode_repetition(frame_scratch_, 3);
+        wire = &wire_scratch_;
         break;
       case CodeKind::kHamming74:
-        wire = encode_hamming74(frame);
+        wire_scratch_ = encode_hamming74(frame_scratch_);
+        wire = &wire_scratch_;
         break;
     }
 
     bool delivered = false;
-    util::BitVec best_effort;  // Last attempt's payload, for failed frames.
+    // Last attempt's payload, for failed frames.
+    best_effort_scratch_.clear();
     const std::size_t attempts = 1 + config_.max_retries;
     for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-      const auto tx = attack_->transmit(wire);
+      const auto tx = attack_->transmit(*wire);
       ++r.transmissions;
       r.channel_bits += tx.sent.size();
       r.channel_bit_errors += tx.sent.hamming_distance(tx.decoded);
@@ -164,31 +167,36 @@ ProtocolResult FramedProtocol::send(const util::BitVec& message) {
       r.elapsed_cycles += config_.feedback_cycles;
 
       // Undo the inner code. The try_* decoders cannot fail here (sizes
-      // are ours), but a defensive nullopt degrades into a NACK.
-      util::BitVec received;
+      // are ours), but a defensive nullopt degrades into a NACK. The
+      // uncoded configuration reads the transmission result in place.
+      const util::BitVec* received = &tx.decoded;
       bool decodable = true;
       switch (config_.code) {
         case CodeKind::kNone:
-          received = tx.decoded;
           break;
         case CodeKind::kRepetition3: {
           auto d = try_decode_repetition(tx.decoded, 3);
           decodable = d.has_value();
-          if (decodable) received = std::move(*d);
+          if (decodable) {
+            received_scratch_ = std::move(*d);
+            received = &received_scratch_;
+          }
           break;
         }
         case CodeKind::kHamming74: {
-          auto d = try_decode_hamming74(tx.decoded, frame.size());
+          auto d = try_decode_hamming74(tx.decoded, frame_scratch_.size());
           decodable = d.has_value();
-          if (decodable) received = std::move(*d);
+          if (decodable) {
+            received_scratch_ = std::move(*d);
+            received = &received_scratch_;
+          }
           break;
         }
       }
 
-      util::BitVec payload;
-      if (decodable && parse_frame(received, f, len, payload)) {
+      if (decodable && parse_frame(*received, f, len, payload_scratch_)) {
         for (std::size_t i = 0; i < len; ++i) {
-          r.decoded.set(base + i, payload.get(i));
+          r.decoded.set(base + i, payload_scratch_.get(i));
         }
         delivered = true;
         consecutive_failures = 0;
@@ -198,12 +206,12 @@ ProtocolResult FramedProtocol::send(const util::BitVec& message) {
       // NACK path: remember the best-effort payload, count the failure,
       // and let the drift detector decide whether the channel itself (not
       // just this frame) has gone bad.
-      if (decodable && received.size() >= config_.preamble_bits +
-                                              config_.seq_bits + len) {
-        best_effort = util::BitVec(len);
+      if (decodable && received->size() >= config_.preamble_bits +
+                                               config_.seq_bits + len) {
+        best_effort_scratch_.assign(len);
         for (std::size_t i = 0; i < len; ++i) {
-          best_effort.set(
-              i, received.get(config_.preamble_bits + config_.seq_bits + i));
+          best_effort_scratch_.set(
+              i, received->get(config_.preamble_bits + config_.seq_bits + i));
         }
       }
       ++consecutive_failures;
@@ -228,8 +236,8 @@ ProtocolResult FramedProtocol::send(const util::BitVec& message) {
 
     if (!delivered) {
       ++r.failed_frames;
-      for (std::size_t i = 0; i < best_effort.size(); ++i) {
-        r.decoded.set(base + i, best_effort.get(i));
+      for (std::size_t i = 0; i < best_effort_scratch_.size(); ++i) {
+        r.decoded.set(base + i, best_effort_scratch_.get(i));
       }
     }
   }

@@ -100,10 +100,11 @@ class FramedProtocol {
   ProtocolResult send(const util::BitVec& message);
 
  private:
-  [[nodiscard]] util::BitVec build_frame(std::size_t seq,
-                                         const util::BitVec& message,
-                                         std::size_t base,
-                                         std::size_t len) const;
+  /// Builds the frame for payload bits [base, base+len) into `frame`
+  /// (cleared first; capacity is retained across frames).
+  void build_frame_into(std::size_t seq, const util::BitVec& message,
+                        std::size_t base, std::size_t len,
+                        util::BitVec& frame) const;
   /// Validates preamble/seq/CRC of a received frame and extracts the
   /// payload. Returns false on any mismatch (caller NACKs).
   bool parse_frame(const util::BitVec& wire, std::size_t seq,
@@ -111,6 +112,15 @@ class FramedProtocol {
 
   CovertAttack* attack_;
   ProtocolConfig config_;
+
+  // Reusable frame-loop buffers: send() transmits every frame through
+  // these instead of allocating per frame/attempt (send is not
+  // re-entrant; the class is documented single-channel, not thread-safe).
+  util::BitVec frame_scratch_;
+  util::BitVec wire_scratch_;
+  util::BitVec received_scratch_;
+  util::BitVec payload_scratch_;
+  util::BitVec best_effort_scratch_;
 
   // obs spine: every counter in ProtocolResult is mirrored into the ambient
   // registry at the end of send(), and retransmit/recalibrate decisions

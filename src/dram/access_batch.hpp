@@ -1,0 +1,92 @@
+// Batched, structure-of-arrays access streams for the memory controller.
+//
+// The paper's headline numbers are produced by millions of single-access
+// round trips through MemoryController::access; each one re-enters the
+// partition / fault / observer seams and re-derives bank state from
+// scattered storage. An AccessBatch carries a whole stream as parallel
+// arrays — addresses and issue cycles in, decoded bank/row/col and timing
+// results out — so MemoryController::access_batch() can decode once,
+// group per bank, and resolve row-buffer transitions in a tight loop with
+// the seam guards hoisted to one check per batch (see
+// docs/performance.md, "Batched access streams").
+//
+// The arrays are plain vectors: a batch is reusable (clear() keeps
+// capacity), so steady-state consumers never allocate on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dram/types.hpp"
+#include "util/units.hpp"
+
+namespace impact::dram {
+
+/// One access stream in structure-of-arrays form. Request arrays (`addr`,
+/// `issue`) are filled by the producer via push(); decoded and result
+/// arrays are filled by MemoryController::access_batch(). All arrays are
+/// indexed by request position — results always land at the request's
+/// original index regardless of the per-bank processing order inside the
+/// kernel.
+struct AccessBatch {
+  // --- Request (producer-filled) --------------------------------------
+  std::vector<PhysAddr> addr;
+  std::vector<util::Cycle> issue;
+
+  // --- Decoded (kernel-filled, one AddressMapping::decode per request) -
+  std::vector<BankId> bank;
+  std::vector<RowId> row;
+  std::vector<std::uint32_t> col;
+
+  // --- Results (kernel-filled) -----------------------------------------
+  std::vector<util::Cycle> latency;
+  std::vector<util::Cycle> completion;
+  std::vector<util::Cycle> ack;
+  std::vector<RowBufferOutcome> outcome;
+
+  [[nodiscard]] std::size_t size() const { return addr.size(); }
+  [[nodiscard]] bool empty() const { return addr.empty(); }
+
+  /// Drops all requests, keeping every array's capacity for reuse.
+  void clear() {
+    addr.clear();
+    issue.clear();
+    bank.clear();
+    row.clear();
+    col.clear();
+    latency.clear();
+    completion.clear();
+    ack.clear();
+    outcome.clear();
+  }
+
+  void reserve(std::size_t n) {
+    addr.reserve(n);
+    issue.reserve(n);
+    bank.reserve(n);
+    row.reserve(n);
+    col.reserve(n);
+    latency.reserve(n);
+    completion.reserve(n);
+    ack.reserve(n);
+    outcome.reserve(n);
+  }
+
+  /// Appends one request issued at cycle `at`.
+  void push(PhysAddr a, util::Cycle at) {
+    addr.push_back(a);
+    issue.push_back(at);
+  }
+
+  // --- Kernel scratch ---------------------------------------------------
+  // Per-bank grouping workspace owned by the batch so back-to-back
+  // access_batch() calls stay allocation-free: `group_order` holds the
+  // request indices permuted into contiguous per-bank segments (stable
+  // within a bank); after the kernel's counting-sort scatter,
+  // `group_start[b]` holds the END of bank b's segment.
+  std::vector<std::uint32_t> group_order;
+  std::vector<std::uint32_t> group_start;
+};
+
+}  // namespace impact::dram

@@ -6,15 +6,17 @@ namespace impact::dram {
 
 std::optional<RowId> Bank::open_row(util::Cycle now) {
   // All-bank auto-refresh: at every tREFI boundary the row buffer is
-  // precharged and the bank is busy for tRFC.
-  if (timing_->trefi > 0) {
+  // precharged and the bank is busy for tRFC. `now >= next_refresh_at_`
+  // is exactly `now / trefi > refresh_epoch_`; the cached boundary keeps
+  // the division off the no-crossing fast path (trefi == 0 parks the
+  // boundary at kNoRefresh, so the branch also covers refresh-disabled).
+  if (now >= next_refresh_at_) {
     const util::Cycle epoch = now / timing_->trefi;
-    if (epoch > refresh_epoch_) {
-      refresh_epoch_ = epoch;
-      const util::Cycle refresh_start = epoch * timing_->trefi;
-      ready_at_ = std::max(ready_at_, refresh_start + timing_->trfc);
-      open_row_.reset();
-    }
+    refresh_epoch_ = epoch;
+    const util::Cycle refresh_start = epoch * timing_->trefi;
+    ready_at_ = std::max(ready_at_, refresh_start + timing_->trfc);
+    open_row_.reset();
+    next_refresh_at_ = (epoch + 1) * timing_->trefi;
   }
   if (open_row_.has_value() && policy_ == RowPolicy::kOpenRow &&
       timing_->timeout_mode == RowTimeoutMode::kIdlePrecharge &&

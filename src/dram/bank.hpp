@@ -71,7 +71,9 @@ struct BankStats {
 class Bank {
  public:
   Bank(const Timing& timing, RowPolicy policy)
-      : timing_(&timing), policy_(policy) {}
+      : timing_(&timing),
+        policy_(policy),
+        next_refresh_at_(timing.trefi > 0 ? timing.trefi : kNoRefresh) {}
 
   /// Performs a read/write-class access to `row` at actor time `now`.
   BankAccessResult access(RowId row, util::Cycle now);
@@ -104,6 +106,12 @@ class Bank {
 
   [[nodiscard]] RowPolicy policy() const { return policy_; }
   void set_policy(RowPolicy p) { policy_ = p; }
+
+  /// True when a command observer is attached. The batch kernel hoists
+  /// this test out of its per-segment loops (the per-command notify still
+  /// fires for every command when an observer is present — the protocol
+  /// checker must see the full stream).
+  [[nodiscard]] bool has_observer() const { return observer_ != nullptr; }
 
   /// Attaches a command observer (nullptr detaches). The bank does not know
   /// its own index in the controller, so the flat id to stamp on records is
@@ -140,6 +148,13 @@ class Bank {
   util::Cycle last_touch_ = 0;     ///< Last command touching the open row.
   util::Cycle last_activate_ = 0;  ///< For the tRAS constraint.
   util::Cycle refresh_epoch_ = 0;  ///< Last tREFI window already applied.
+  /// First cycle of the next unapplied refresh window, i.e.
+  /// `(refresh_epoch_ + 1) * trefi` (kNoRefresh when trefi == 0). Caching
+  /// the boundary turns the two per-access epoch checks (open_row runs at
+  /// `now` and again at `start`) from 64-bit divisions into compares; the
+  /// division only runs when a boundary is actually crossed.
+  static constexpr util::Cycle kNoRefresh = ~util::Cycle{0};
+  util::Cycle next_refresh_at_ = kNoRefresh;
   /// Adaptive policy: 2-bit keep-open confidence (hits raise, conflicts
   /// lower; the row auto-precharges while confidence is low).
   std::uint8_t open_confidence_ = 2;

@@ -235,6 +235,13 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
   }
   state.remaining = tasks_.size();
 
+  // Per-cell error records are built on the executing worker's sweep arena
+  // and published into a preallocated slot: the string construction happens
+  // outside the scheduler lock on thread-private storage, and the caller
+  // collects the slots (in task order) only after every cell retired — the
+  // `remaining` handshake under `state.mutex` provides the happens-before.
+  std::vector<CellError*> cell_errors(tasks_.size(), nullptr);
+
   std::function<void(TaskId)> execute = [&](TaskId id) {
     bool dep_failed = false;
     {
@@ -245,6 +252,15 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
     }
     Attempt a;
     if (!dep_failed) a = attempt_cell(id);
+    if (dep_failed) {
+      cell_errors[id] = local_arena().make<CellError>(
+          CellError{id, tasks_[id].label, 0, true,
+                    "skipped: dependency failed"});
+    } else if (!a.ok) {
+      cell_errors[id] = local_arena().make<CellError>(
+          CellError{id, tasks_[id].label, a.attempts, false,
+                    std::move(a.message)});
+    }
 
     std::vector<TaskId> ready;
     {
@@ -252,8 +268,6 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
       if (dep_failed) {
         state.failed[id] = true;
         ++report.skipped;
-        report.errors.push_back(CellError{id, tasks_[id].label, 0, true,
-                                          "skipped: dependency failed"});
       } else {
         report.retries += a.attempts - 1;
         if (a.ok) {
@@ -261,8 +275,6 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
         } else {
           state.failed[id] = true;
           ++report.failed;
-          report.errors.push_back(CellError{id, tasks_[id].label,
-                                            a.attempts, false, a.message});
         }
       }
       for (const TaskId dep : state.dependents[id]) {
@@ -284,10 +296,10 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
     std::unique_lock<std::mutex> lock(state.mutex);
     state.done_cv.wait(lock, [&] { return state.remaining == 0; });
   }
-  std::sort(report.errors.begin(), report.errors.end(),
-            [](const CellError& a, const CellError& b) {
-              return a.task < b.task;
-            });
+  // Slot order is task order, so no sort is needed.
+  for (CellError* e : cell_errors) {
+    if (e != nullptr) report.errors.push_back(std::move(*e));
+  }
   return report;
 }
 

@@ -23,6 +23,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "exec/arena.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/snapshot.hpp"
 
@@ -85,7 +88,17 @@ class Sweep {
   using TaskId = std::size_t;
 
   /// `pool == nullptr` runs the sweep serially in insertion order.
-  explicit Sweep(ThreadPool* pool = nullptr) : pool_(pool) {}
+  explicit Sweep(ThreadPool* pool = nullptr) : pool_(pool) {
+    // One arena per pool worker plus a fallback slot for the caller thread
+    // (serial mode, or a degenerate inline batch). Tasks always run either
+    // on a pool worker (parallel dispatch goes through submit) or on the
+    // caller, so local_arena() is race-free without locks.
+    const std::size_t slots = (pool_ != nullptr ? pool_->size() : 0) + 1;
+    arenas_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      arenas_.push_back(std::make_unique<Arena>());
+    }
+  }
 
   /// Adds a task; `deps` must name tasks added earlier (insertion order is
   /// therefore always a valid topological order). Returns the task's id.
@@ -115,6 +128,18 @@ class Sweep {
   void set_capture(bool capture) { capture_ = capture; }
   [[nodiscard]] bool capture() const { return capture_; }
 
+  /// The calling thread's sweep-scope arena: a private bump allocator for
+  /// task-local objects whose lifetime is the whole sweep (inputs built by
+  /// one task and read by dependents — the dependency edges provide the
+  /// happens-before; the Sweep destructor reclaims everything). Pool
+  /// workers get their own arena each; any other thread (serial mode, the
+  /// caller) shares the fallback slot.
+  [[nodiscard]] Arena& local_arena() {
+    const std::size_t w = ThreadPool::current_worker_index();
+    if (pool_ != nullptr && w < pool_->size()) return *arenas_[w];
+    return *arenas_.back();
+  }
+
  private:
   struct Task {
     std::string label;
@@ -124,6 +149,10 @@ class Sweep {
 
   ThreadPool* pool_;
   std::vector<Task> tasks_;
+  /// Per-worker arenas + caller fallback (see local_arena). unique_ptr
+  /// keeps Arena addresses stable; the vector itself is never resized
+  /// after construction.
+  std::vector<std::unique_ptr<Arena>> arenas_;
   bool capture_ = false;
 };
 

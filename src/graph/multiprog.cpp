@@ -60,9 +60,10 @@ ArrayMap map_arrays(sys::MemorySystem& system, const CsrGraph& graph,
   return m;
 }
 
-/// Replays one op for an instance, advancing its clock.
-void replay_op(sys::MemorySystem& system, dram::ActorId actor,
-               const ArrayMap& map, const TraceOp& op, util::Cycle& clock,
+/// Replays one op for an instance through its cached access port,
+/// advancing its clock.
+void replay_op(sys::MemorySystem::AccessPort& port, const ArrayMap& map,
+               const TraceOp& op, util::Cycle& clock,
                std::uint64_t& instructions) {
   clock += op.compute;
   // Rough instruction accounting: the access itself plus the surrounding
@@ -71,9 +72,9 @@ void replay_op(sys::MemorySystem& system, dram::ActorId actor,
   const sys::VAddr addr =
       map.base[static_cast<std::size_t>(op.array)] + op.index * 4ull;
   if (op.write) {
-    (void)system.store(actor, addr, clock, op.pc);
+    (void)port.store(addr, clock, op.pc);
   } else {
-    (void)system.load(actor, addr, clock, op.pc);
+    (void)port.load(addr, clock, op.pc);
   }
 }
 
@@ -113,20 +114,30 @@ RunStats run_multiprogrammed(const MultiprogConfig& config,
   util::Cycle clock_b = 0;
   std::size_t ia = 0;
   std::size_t ib = 0;
+  const std::size_t n = trace.ops.size();
+  // Cached per-instance CPU paths: the replay loop below is the hottest
+  // consumer of MemorySystem::load/store in the repo (Fig. 11 sweeps
+  // replay millions of ops per cell).
+  sys::MemorySystem::AccessPort port_a = system.port(kInstanceA);
+  sys::MemorySystem::AccessPort port_b = system.port(kInstanceB);
   // Interleave the two instances by simulated time so their DRAM traffic
-  // contends realistically on the shared banks.
-  while (ia < trace.ops.size() || ib < trace.ops.size()) {
-    const bool a_turn =
-        ib >= trace.ops.size() ||
-        (ia < trace.ops.size() && clock_a <= clock_b);
+  // contends realistically on the shared banks. Each turn replays a *run*
+  // of ops — the instance keeps going while it stays behind the other's
+  // clock (or the other is done) — which picks exactly the op sequence the
+  // per-op formulation would, with one turn decision per run instead of
+  // per op.
+  while (ia < n || ib < n) {
+    const bool a_turn = ib >= n || (ia < n && clock_a <= clock_b);
     if (a_turn) {
-      replay_op(system, kInstanceA, map_a, trace.ops[ia], clock_a,
-                stats.instructions);
-      ++ia;
+      do {
+        replay_op(port_a, map_a, trace.ops[ia], clock_a, stats.instructions);
+        ++ia;
+      } while (ia < n && (ib >= n || clock_a <= clock_b));
     } else {
-      replay_op(system, kInstanceB, map_b, trace.ops[ib], clock_b,
-                stats.instructions);
-      ++ib;
+      do {
+        replay_op(port_b, map_b, trace.ops[ib], clock_b, stats.instructions);
+        ++ib;
+      } while (ib < n && (ia >= n || clock_b < clock_a));
     }
   }
 
@@ -177,7 +188,12 @@ std::vector<DefenseOverheads> evaluate_defense_matrix(
     const MultiprogConfig& config, std::span<const WorkloadKind> kinds,
     exec::ThreadPool* pool) {
   std::vector<DefenseOverheads> out(kinds.size());
-  std::vector<WorkloadInput> inputs(kinds.size());
+  // Inputs live on the building worker's sweep arena rather than being
+  // default-constructed up front and assigned across threads: each input is
+  // created whole by its build task, dependents read it through the sweep's
+  // build->run edges (which give the necessary happens-before), and the
+  // Sweep destructor reclaims the storage after run() returns.
+  std::vector<WorkloadInput*> inputs(kinds.size(), nullptr);
 
   constexpr dram::RowPolicy kPolicies[] = {dram::RowPolicy::kOpenRow,
                                            dram::RowPolicy::kClosedRow,
@@ -195,13 +211,17 @@ std::vector<DefenseOverheads> evaluate_defense_matrix(
         "input:" + std::string(to_string(kinds[w])),
         // Sweep::run() returns before the enclosing scope unwinds, so
         // reference captures of the local grids are safe.
-        [&, w] { inputs[w] = build_input(config, kinds[w]); });
+        [&, w] {
+          inputs[w] =
+              sweep.local_arena().make<WorkloadInput>(build_input(config,
+                                                                  kinds[w]));
+        });
     for (std::size_t p = 0; p < 3; ++p) {
       sweep.add("run:" + std::string(to_string(kinds[w])) + ":" +
                     to_string(kPolicies[p]),
                 [&, w, p] {
                   out[w].*kSlots[p] =
-                      run_multiprogrammed(config, inputs[w], kPolicies[p]);
+                      run_multiprogrammed(config, *inputs[w], kPolicies[p]);
                 },
                 {build});
     }

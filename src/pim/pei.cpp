@@ -6,7 +6,17 @@ namespace impact::pim {
 
 PeiDispatcher::PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
                              dram::ActorId actor)
-    : config_(config), system_(&system), actor_(actor), pmu_(config.pmu) {
+    : config_(config),
+      system_(&system),
+      actor_(actor),
+      pmu_(config.pmu),
+      // Resolve the per-actor structures once. Eager context creation is
+      // timing-invisible: contexts carry no clock state and are
+      // independent of each other.
+      tlb_(&system.tlb(actor)),
+      hier_(&system.hierarchy(actor)),
+      mc_(&system.controller()),
+      view_(system.vmem().view(actor)) {
   if (obs::Registry* reg = obs::current_registry()) {
     obs_ops_ = reg->counter("pim.pei.ops");
     obs_memory_side_ = reg->counter("pim.pei.memory_side");
@@ -17,14 +27,15 @@ PeiDispatcher::PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
 
 // SIMLINT-HOT-BEGIN: per-access fast path — no allocation, no
 // std::string, no by-name registry resolves (docs/static-analysis.md).
-PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
-                                 PeiKind /*kind*/) {
+PeiResult PeiDispatcher::execute_one(sys::VAddr vaddr, util::Cycle& clock) {
   PeiResult r;
   // PEIs carry virtual addresses; translation happens on the host side
   // before dispatch (as in the PEI architecture).
-  const auto tr = system_->translate(actor_, vaddr);
-  system_->charge_walk_traffic(actor_, vaddr, tr.walked, clock);
-  const dram::PhysAddr paddr = system_->vmem().translate(actor_, vaddr);
+  const auto tr = tlb_->translate(vaddr, view_.is_huge(vaddr));
+  if (tr.walked) {
+    system_->charge_walk_traffic(actor_, vaddr, /*walked=*/true, clock);
+  }
+  const dram::PhysAddr paddr = view_.translate(vaddr);
   util::Cycle latency = tr.latency + config_.pmu.lookup_latency;
 
   const std::uint64_t block = paddr / 64;
@@ -33,10 +44,10 @@ PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
   if (r.placement == PeiPlacement::kHost) {
     // Host-side PCU: a normal cached load plus the compute. No DRAM row is
     // touched when the line hits in the cache hierarchy.
-    const auto mem = system_->hierarchy(actor_).access(paddr, clock + latency);
+    const auto mem = hier_->access(paddr, clock + latency);
     latency += mem.latency + config_.pcu_compute_latency;
     r.outcome = mem.dram_outcome;
-    r.bank = system_->controller().mapping().decode(paddr).bank;
+    r.bank = mc_->mapping().decode(paddr).bank;
     if (mem.level != cache::HitLevel::kMemory) {
       // Mark that no bank state changed: callers treat a non-memory
       // outcome of a host-placed PEI as "no interference generated".
@@ -45,8 +56,7 @@ PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
   } else {
     // Memory-side PCU: uncacheable request straight to the bank.
     latency += config_.offchip_issue_latency;
-    const auto mem =
-        system_->controller().access(paddr, clock + latency, actor_);
+    const auto mem = mc_->access(paddr, clock + latency, actor_);
     latency += mem.latency + config_.pcu_compute_latency +
                config_.response_latency;
     r.outcome = mem.outcome;
@@ -54,6 +64,12 @@ PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
   }
   r.latency = latency;
   clock += latency;
+  return r;
+}
+
+PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
+                                 PeiKind /*kind*/) {
+  const PeiResult r = execute_one(vaddr, clock);
   if (obs_ops_) {
     obs_ops_.add();
     (r.placement == PeiPlacement::kHost ? obs_host_side_ : obs_memory_side_)
@@ -63,9 +79,36 @@ PeiResult PeiDispatcher::execute(sys::VAddr vaddr, util::Cycle& clock,
     obs_trace_->span("pim",
                      r.placement == PeiPlacement::kHost ? "pei-host"
                                                         : "pei-memory",
-                     clock - latency, clock, actor_);
+                     clock - r.latency, clock, actor_);
   }
   return r;
+}
+
+void PeiDispatcher::execute_batch(const sys::VAddr* vaddrs, std::size_t n,
+                                  util::Cycle& clock, util::Cycle pre_cost,
+                                  util::Cycle post_cost, PeiResult* results) {
+  std::uint64_t host_side = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    clock += pre_cost;
+    results[i] = execute_one(vaddrs[i], clock);
+    if (obs_trace_ != nullptr) {
+      // Per-op spans are part of the trace contract; only the null guard
+      // and the counter updates are hoisted out of the loop.
+      obs_trace_->span("pim",
+                       results[i].placement == PeiPlacement::kHost
+                           ? "pei-host"
+                           : "pei-memory",
+                       clock - results[i].latency, clock, actor_);
+    }
+    host_side +=
+        static_cast<std::uint64_t>(results[i].placement == PeiPlacement::kHost);
+    clock += post_cost;
+  }
+  if (obs_ops_ && n > 0) {
+    obs_ops_.add(n);
+    obs_host_side_.add(host_side);
+    obs_memory_side_.add(n - host_side);
+  }
 }
 // SIMLINT-HOT-END
 

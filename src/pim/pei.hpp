@@ -41,6 +41,11 @@ struct PeiResult {
 
 /// Per-process PEI front end: owns the PMU, issues memory-side PEIs to the
 /// controller and host-side PEIs through the process's cache hierarchy.
+///
+/// The constructor resolves every per-actor structure once — TLB, cache
+/// hierarchy, controller, and a VirtualMemory::TranslationView — so the
+/// per-PEI path touches no actor hash maps (the covert channels execute
+/// millions of PEIs through one dispatcher).
 class PeiDispatcher {
  public:
   PeiDispatcher(PeiConfig config, sys::MemorySystem& system,
@@ -49,6 +54,18 @@ class PeiDispatcher {
   /// Executes one PEI targeting `vaddr`, advancing the actor clock.
   PeiResult execute(sys::VAddr vaddr, util::Cycle& clock,
                     PeiKind kind = PeiKind::kAdd);
+
+  /// Executes `n` PEIs as one chained run: op i+1 issues at the clock left
+  /// by op i (`clock += pre_cost; <execute>; clock += post_cost` per op,
+  /// so a measured probe loop — timestamp read before, fast read after —
+  /// batches without changing a single cycle). Each result is
+  /// bit-identical to the equivalent scalar sequence; the obs seam is
+  /// hoisted to one guarded counter update per batch (totals match the
+  /// scalar path; per-op trace spans are still emitted when a trace
+  /// session is attached).
+  void execute_batch(const sys::VAddr* vaddrs, std::size_t n,
+                     util::Cycle& clock, util::Cycle pre_cost,
+                     util::Cycle post_cost, PeiResult* results);
 
   [[nodiscard]] const LocalityMonitor& pmu() const { return pmu_; }
   [[nodiscard]] const PeiConfig& config() const { return config_; }
@@ -60,11 +77,21 @@ class PeiDispatcher {
                                                  std::uint32_t line_bytes);
 
  private:
+  /// The per-PEI work shared by execute and execute_batch: translate,
+  /// place, access, advance `clock`. No obs traffic.
+  PeiResult execute_one(sys::VAddr vaddr, util::Cycle& clock);
+
   PeiConfig config_;
   sys::MemorySystem* system_;
   dram::ActorId actor_;
   LocalityMonitor pmu_;
   std::uint32_t bypass_cursor_ = 0;
+  // Hot-path handles resolved once at construction (stable: contexts are
+  // never erased and the controller is owned by the system).
+  sys::Tlb* tlb_;
+  cache::Hierarchy* hier_;
+  dram::MemoryController* mc_;
+  sys::VirtualMemory::TranslationView view_;
   // obs:: handles resolved once at construction; null (one predictable
   // branch per PEI) outside an obs::Scope.
   obs::Counter obs_ops_;

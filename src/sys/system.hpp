@@ -110,6 +110,51 @@ class MemorySystem {
                   std::uint64_t pc = 0);
   PathResult store(dram::ActorId actor, VAddr vaddr, util::Cycle& clock,
                    std::uint64_t pc = 0);
+
+  /// Cached per-actor CPU-side path for hot replay loops: resolves the
+  /// actor's TLB, hierarchy, and translation view once, so the per-access
+  /// path touches no actor hash maps. load/store are bit-identical to
+  /// MemorySystem::load/store for the same actor (the underlying TLB,
+  /// caches, and banks are the very same objects — a port and the façade
+  /// calls may be freely interleaved). Valid for the system's lifetime.
+  class AccessPort {
+   public:
+    PathResult load(VAddr vaddr, util::Cycle& clock, std::uint64_t pc = 0) {
+      return access(vaddr, clock, /*is_write=*/false, pc);
+    }
+    PathResult store(VAddr vaddr, util::Cycle& clock, std::uint64_t pc = 0) {
+      return access(vaddr, clock, /*is_write=*/true, pc);
+    }
+
+   private:
+    friend class MemorySystem;
+    AccessPort(Tlb& tlb, cache::Hierarchy& hier,
+               VirtualMemory::TranslationView view)
+        : tlb_(&tlb), hier_(&hier), view_(view) {}
+
+    PathResult access(VAddr vaddr, util::Cycle& clock, bool is_write,
+                      std::uint64_t pc) {
+      const auto tr = tlb_->translate(vaddr, view_.is_huge(vaddr));
+      const dram::PhysAddr paddr = view_.translate(vaddr);
+      const auto mem = hier_->access(paddr, clock + tr.latency, is_write, pc);
+      PathResult r;
+      r.latency = tr.latency + mem.latency;
+      r.level = mem.level;
+      r.outcome = mem.dram_outcome;
+      clock += r.latency;
+      return r;
+    }
+
+    Tlb* tlb_;
+    cache::Hierarchy* hier_;
+    VirtualMemory::TranslationView view_;
+  };
+
+  /// Builds an AccessPort for `actor` (creating its context on first use).
+  [[nodiscard]] AccessPort port(dram::ActorId actor) {
+    auto& ctx = context(actor);
+    return AccessPort(ctx.tlb, ctx.hierarchy, vmem_.view(actor));
+  }
   /// clflush of the line holding `vaddr` (translate + LLC probe + WB).
   util::Cycle clflush(dram::ActorId actor, VAddr vaddr, util::Cycle& clock);
   /// Eviction-set displacement of the line holding `vaddr` (§3.3 baseline).

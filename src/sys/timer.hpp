@@ -40,6 +40,10 @@ class Timestamp {
     return config_.cpuid_cost + 2 * config_.rdtscp_cost;
   }
 
+  /// Instruction costs, for batched probe kernels that fold the
+  /// read/read_fast bracket into per-op pre/post clock advances.
+  [[nodiscard]] const TimerConfig& config() const { return config_; }
+
  private:
   TimerConfig config_;
 };

@@ -76,7 +76,11 @@ VAddr VirtualMemory::install(Process& p,
   const VAddr base = p.next_vaddr;
   VAddr v = base;
   for (std::uint64_t f : frames) {
-    p.page_table[v >> page_bits_] = f;
+    // Page tables are append-only (TranslationView memoizes vpn->pfn on
+    // that guarantee): the bump allocator hands out fresh pages, so an
+    // existing entry here would be a bookkeeping bug.
+    const auto [it, inserted] = p.page_table.emplace(v >> page_bits_, f);
+    util::check(inserted, "VirtualMemory: page already mapped");
     v += page_bytes();
   }
   p.next_vaddr = v;
@@ -171,7 +175,13 @@ void VirtualMemory::share(dram::ActorId from, dram::ActorId to,
     const auto it = fit->second.page_table.find(v >> page_bits_);
     util::check(it != fit->second.page_table.end(),
                 "VirtualMemory::share: span not fully mapped by owner");
-    dst.page_table[v >> page_bits_] = it->second;
+    // Append-only page tables (see install): re-sharing the same span is
+    // idempotent, but remapping an existing vpn to a different frame would
+    // invalidate TranslationView memos and is refused.
+    const auto [dit, inserted] =
+        dst.page_table.emplace(v >> page_bits_, it->second);
+    util::check(inserted || dit->second == it->second,
+                "VirtualMemory::share: vpn already mapped to another frame");
   }
   // Keep the destination's bump allocator clear of the shared range.
   dst.next_vaddr = std::max(dst.next_vaddr, span.end());

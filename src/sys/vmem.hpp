@@ -10,12 +10,14 @@
 // index (§5.1), provided by `map_row_span`.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "dram/address_mapping.hpp"
 #include "dram/controller.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace impact::sys {
@@ -31,6 +33,8 @@ struct VSpan {
 };
 
 class VirtualMemory {
+  struct Process;  // Defined below; forward-declared for TranslationView.
+
  public:
   /// `mapping` defines how physical frames land in banks; it must outlive
   /// this object. `seed` drives the randomized default allocation order
@@ -70,6 +74,61 @@ class VirtualMemory {
 
   /// True if `proc` has a mapping for the page of `vaddr`.
   [[nodiscard]] bool is_mapped(dram::ActorId proc, VAddr vaddr) const;
+
+  /// Cached translation handle for one process, built for hot replay and
+  /// PEI loops that translate millions of addresses: the process record is
+  /// resolved once (references into `processes_` are stable — only erasure
+  /// would invalidate them, and processes are never erased) and repeat
+  /// translations of the same page hit a small direct-mapped vpn->pfn memo
+  /// instead of the page-table hash. The memo is sound because page tables
+  /// are append-only: install() and share() refuse to remap an existing
+  /// vpn, so a memoized pfn can never go stale. Results are bit-identical
+  /// to VirtualMemory::translate / is_huge for the same process.
+  class TranslationView {
+   public:
+    [[nodiscard]] dram::PhysAddr translate(VAddr vaddr) const {
+      const std::uint64_t vpn = vaddr >> page_bits_;
+      const std::size_t slot = vpn & (kMemoSlots - 1);
+      if (memo_vpn_[slot] != vpn) {
+        const auto it = process_->page_table.find(vpn);
+        util::check(it != process_->page_table.end(),
+                    "VirtualMemory: unmapped virtual address");
+        memo_vpn_[slot] = vpn;
+        memo_pfn_[slot] = it->second;
+      }
+      return (memo_pfn_[slot] << page_bits_) | (vaddr & page_mask_);
+    }
+
+    [[nodiscard]] bool is_huge(VAddr vaddr) const {
+      for (const auto& r : process_->huge_ranges) {
+        if (vaddr >= r.vaddr && vaddr < r.end()) return true;
+      }
+      return false;
+    }
+
+   private:
+    friend class VirtualMemory;
+    TranslationView(const Process* p, std::uint32_t page_bits)
+        : process_(p),
+          page_bits_(page_bits),
+          page_mask_((1ull << page_bits) - 1) {
+      memo_vpn_.fill(~std::uint64_t{0});
+    }
+
+    static constexpr std::size_t kMemoSlots = 64;
+    const Process* process_;
+    std::uint32_t page_bits_;
+    std::uint64_t page_mask_;
+    mutable std::array<std::uint64_t, kMemoSlots> memo_vpn_;
+    mutable std::array<std::uint64_t, kMemoSlots> memo_pfn_{};
+  };
+
+  /// Builds a TranslationView for `proc`, creating its (empty) process
+  /// record if needed. The view stays valid for this VirtualMemory's
+  /// lifetime and sees pages mapped after it was built.
+  [[nodiscard]] TranslationView view(dram::ActorId proc) {
+    return TranslationView(&process(proc), page_bits_);
+  }
 
   [[nodiscard]] std::uint64_t frames_total() const { return frames_total_; }
   [[nodiscard]] std::uint64_t frames_used() const { return frames_used_; }

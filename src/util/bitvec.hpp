@@ -34,6 +34,12 @@ class BitVec {
   [[nodiscard]] bool get(std::size_t i) const { return bits_.at(i); }
   void set(std::size_t i, bool v) { bits_.at(i) = v; }
   void push_back(bool v) { bits_.push_back(v); }
+  /// Drops all bits, keeping capacity (for reusable frame buffers).
+  void clear() { bits_.clear(); }
+  /// Replaces the contents with `size` copies of `value`, reusing capacity.
+  void assign(std::size_t size, bool value = false) {
+    bits_.assign(size, value);
+  }
 
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const;

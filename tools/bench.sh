@@ -60,8 +60,13 @@ trap 'rm -rf "${TMP_DIR}"' EXIT
 # Three repetitions, best-of taken when assembling: on a loaded machine a
 # single short run can swing well past the 20% regression threshold, and
 # the max across repetitions is the stable steady-state estimate.
+# Smoke stays short but not *too* short: at 0.05s/run the channel benches
+# sit 10-15% below their steady state (warmup, frequency ramp), which
+# stacked on container noise trips the 20% gate spuriously against a
+# baseline recorded at 0.5s. 0.25s is close enough to steady state to
+# compare like with like while keeping the whole smoke pass in seconds.
 if [ "${SMOKE}" -eq 1 ]; then
-  MIN_TIME=0.05
+  MIN_TIME=0.25
 else
   MIN_TIME=0.5
 fi
@@ -130,6 +135,22 @@ with open(os.path.join(tmp, "micro.json")) as f:
     micro = json.load(f)
 with open(os.path.join(tmp, "sweep.json")) as f:
     sweep = json.load(f)
+
+# Scaling honesty: a serial-vs-parallel wall-clock ratio measured on a
+# single CPU is scheduler noise, not a speedup. The binary flags this
+# itself (scaling_valid, plus cpu-seconds so wall-vs-cpu can be audited);
+# re-derive here from the benchmark context as a belt-and-braces check so
+# the committed baseline can never present a 1-CPU "speedup" as headline.
+num_cpus = micro.get("context", {}).get("num_cpus", 0)
+if num_cpus <= 1:
+    sweep["scaling_valid"] = False
+if not sweep.get("scaling_valid", False):
+    sweep["headline_speedup"] = None
+    print(f"bench: sweep_scaling measured on {num_cpus} CPU(s) — "
+          f"speedup {sweep.get('speedup', 0.0):.2f}x recorded as "
+          "scaling_valid=false (not a headline number)", file=sys.stderr)
+else:
+    sweep["headline_speedup"] = sweep.get("speedup")
 micro_noobs = None
 noobs_path = os.path.join(tmp, "micro_noobs.json")
 if os.path.exists(noobs_path):
@@ -208,6 +229,16 @@ if baseline_type != build_type:
     sys.exit(1)
 
 failed = False
+
+# The batch-kernel benches are required entries of the smoke gate (the
+# tools/check.sh bench-smoke stage): a run that silently loses them would
+# otherwise pass on the remaining benchmarks alone.
+for required in ("BM_AccessBatch", "BM_MultiprogReplay"):
+    if required not in result["benchmarks"]:
+        print(f"bench: required benchmark {required} missing from run",
+              file=sys.stderr)
+        failed = True
+
 for name, entry in baseline.get("benchmarks", {}).items():
     base_ips = entry.get("items_per_second", 0.0)
     cur_ips = result["benchmarks"].get(name, {}).get("items_per_second")

@@ -196,6 +196,9 @@ fi
 stage obs $rc
 
 # --- Stage 6: benchmark smoke (throughput regression gate) --------------
+# Covers every microbench in BENCH_simulator.json; BM_AccessBatch and
+# BM_MultiprogReplay (the batch-kernel benches) are additionally required
+# to be present — bench.sh fails the gate when either goes missing.
 "${ROOT}/tools/bench.sh" --smoke "${ROOT}/build-bench"
 stage bench-smoke $?
 

@@ -6,9 +6,12 @@
 //       the attacker can reverse-engineer.
 //
 // Every sweep point builds its own MemorySystem, so the points are
-// independent and fan out over the sweep engine's thread pool; rows are
-// collected in parameter order and printed after the sweep, giving output
-// identical to the old serial loops.
+// independent and fan out over the sweep engine's thread pool through the
+// content-addressed store::CellRunner: each point carries a fingerprint
+// over its full configuration, already-solved points replay from the
+// ResultCache (set IMPACT_STORE_DIR to persist across invocations), and
+// rows are collected in parameter order — output identical to the old
+// serial loops.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,7 +19,7 @@
 #include "attacks/impact_async.hpp"
 #include "attacks/impact_pnm.hpp"
 #include "attacks/impact_pum.hpp"
-#include "exec/sweep.hpp"
+#include "store/cell_runner.hpp"
 #include "sys/system.hpp"
 #include "util/table.hpp"
 
@@ -33,13 +36,36 @@ int main() {
               "(%u worker thread(s)) ===\n\n",
               pool.size());
 
+  store::ResultCache cache(store::ResultCache::options_from_env());
+  store::WorkloadStore workloads;
+  store::CellRunner runner(cache, workloads, &pool);
+
+  // Shared fingerprint base: the stock SystemConfig every point starts
+  // from, plus the sweep's identity. Each sub-sweep adds its parameter
+  // and the measure() arguments that shape the result.
+  const auto base_canon = [](const char* sweep) {
+    sys::SystemConfig config;
+    store::Canon c;
+    c.field("cell", "ablation");
+    c.field("sweep", sweep);
+    c.object("system", store::canon_of(config));
+    return c;
+  };
+
   {
     std::printf("--- (1) IMPACT-PnM batch size (M bits per semaphore "
                 "turn) ---\n");
     util::Table table({"batch bits", "throughput (Mb/s)", "error rate"});
     const std::vector<std::uint32_t> batches = {1, 2, 4, 8, 16};
-    const auto rows = exec::parallel_map<Row>(
-        &pool, batches.size(), [&](std::size_t i) {
+    const auto result = runner.rows(
+        "ablation.batch_bits", batches.size(),
+        [&](std::size_t i) {
+          store::Canon c = base_canon("batch_bits");
+          c.field("batch_bits", batches[i]);
+          c.field("measure", "64x8@41");
+          return c.fingerprint();
+        },
+        [&](std::size_t i) {
           sys::SystemConfig config;
           sys::MemorySystem system(config);
           attacks::ImpactPnmConfig attack_config;
@@ -50,7 +76,8 @@ int main() {
                      util::Table::num(r.throughput_mbps(config.frequency())),
                      util::Table::num(100.0 * r.error_rate(), 1) + "%"};
         });
-    for (const auto& row : rows) table.add_row(row);
+    if (!result.ok()) return 1;
+    for (const auto& row : result.rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
   }
 
@@ -59,8 +86,15 @@ int main() {
     util::Table table(
         {"banks", "PnM (Mb/s)", "PuM (Mb/s)", "PuM sender (cyc/msg)"});
     const std::vector<std::uint32_t> bank_counts = {4, 8, 16, 32, 64};
-    const auto rows = exec::parallel_map<Row>(
-        &pool, bank_counts.size(), [&](std::size_t i) {
+    const auto result = runner.rows(
+        "ablation.banks", bank_counts.size(),
+        [&](std::size_t i) {
+          store::Canon c = base_canon("banks");
+          c.field("banks", bank_counts[i]);
+          c.field("measure", "64x8@42");
+          return c.fingerprint();
+        },
+        [&](std::size_t i) {
           const std::uint32_t banks = bank_counts[i];
           sys::SystemConfig config;
           double pnm_mbps = 0.0;
@@ -87,7 +121,8 @@ int main() {
                      util::Table::num(pum_mbps),
                      util::Table::num(pum_sender, 0)};
         });
-    for (const auto& row : rows) table.add_row(row);
+    if (!result.ok()) return 1;
+    for (const auto& row : result.rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
   }
 
@@ -98,8 +133,15 @@ int main() {
         dram::MappingScheme::kBankInterleaved,
         dram::MappingScheme::kRowBankCol,
         dram::MappingScheme::kXorBankHash};
-    const auto rows = exec::parallel_map<Row>(
-        &pool, schemes.size(), [&](std::size_t i) {
+    const auto result = runner.rows(
+        "ablation.mapping", schemes.size(),
+        [&](std::size_t i) {
+          store::Canon c = base_canon("mapping");
+          c.field("mapping", to_string(schemes[i]));
+          c.field("measure", "64x8@43");
+          return c.fingerprint();
+        },
+        [&](std::size_t i) {
           sys::SystemConfig config;
           config.mapping = schemes[i];
           sys::MemorySystem system(config);
@@ -109,7 +151,8 @@ int main() {
                      util::Table::num(r.throughput_mbps(config.frequency())),
                      util::Table::num(100.0 * r.error_rate(), 1) + "%"};
         });
-    for (const auto& row : rows) table.add_row(row);
+    if (!result.ok()) return 1;
+    for (const auto& row : result.rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
     std::printf("The row-buffer channel is mapping-agnostic once the\n"
                 "attacker can co-locate rows (memory massaging handles\n"
@@ -139,8 +182,17 @@ int main() {
         {false, 1, 2, "PnM, 2 receiver threads"},
         {false, 1, 4, "PnM, 4 receiver threads"},
     };
-    const auto rows = exec::parallel_map<Row>(
-        &pool, points.size(), [&](std::size_t i) {
+    const auto result = runner.rows(
+        "ablation.threads", points.size(),
+        [&](std::size_t i) {
+          store::Canon c = base_canon("threads");
+          c.field("pum", points[i].pum);
+          c.field("sender_threads", points[i].sender_threads);
+          c.field("receiver_threads", points[i].receiver_threads);
+          c.field("message_bits", std::uint64_t{16});
+          return c.fingerprint();
+        },
+        [&](std::size_t i) {
           const Point& pt = points[i];
           sys::SystemConfig config;
           sys::MemorySystem system(config);
@@ -162,7 +214,8 @@ int main() {
                      util::Table::num(report.throughput_mbps(
                          config.frequency()))};
         });
-    for (const auto& row : rows) table.add_row(row);
+    if (!result.ok()) return 1;
+    for (const auto& row : result.rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
     std::printf("A PnM sender needs several cores' worth of parallel PEI\n"
                 "issue to approach what PuM gets from one masked RowClone\n"
@@ -175,8 +228,15 @@ int main() {
     util::Table table({"slot (cyc)", "throughput (Mb/s)", "error rate",
                        "receiver overruns"});
     const std::vector<util::Cycle> slots = {140, 180, 220, 260, 320, 400};
-    const auto rows = exec::parallel_map<Row>(
-        &pool, slots.size(), [&](std::size_t i) {
+    const auto result = runner.rows(
+        "ablation.slots", slots.size(),
+        [&](std::size_t i) {
+          store::Canon c = base_canon("slots");
+          c.field("slot_cycles", static_cast<std::uint64_t>(slots[i]));
+          c.field("measure", "128x6@44");
+          return c.fingerprint();
+        },
+        [&](std::size_t i) {
           sys::SystemConfig config;
           sys::MemorySystem system(config);
           attacks::ImpactAsyncConfig attack_config;
@@ -188,7 +248,8 @@ int main() {
                      util::Table::num(100.0 * r.error_rate(), 1) + "%",
                      util::Table::num(100.0 * attack.overrun_rate(), 1) + "%"};
         });
-    for (const auto& row : rows) table.add_row(row);
+    if (!result.ok()) return 1;
+    for (const auto& row : result.rows) table.add_row(row);
     std::printf("%s\n", table.render().c_str());
     std::printf("Dropping the semaphore handshake buys rate until the slot\n"
                 "undercuts the probe path and the receiver overruns — the\n"

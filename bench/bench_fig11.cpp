@@ -5,21 +5,22 @@
 // Paper: CTD costs 26% on average, CRP 15%, with CRP cheap on the
 // workloads that do not benefit from the open-row policy.
 //
-// The grid runs as a capture-enabled exec::Sweep: every cell gets its own
-// obs scope, and the table below is rebuilt from the per-cell snapshots
-// (graph.* counters) rather than the tasks' own RunStats — the spine's
-// accounting is the figure. With the spine compiled out (-DIMPACT_OBS=OFF)
-// the table falls back to the RunStats cells, which are identical.
-#include <array>
+// The grid runs through the content-addressed store::CellRunner: every
+// cell gets its own obs scope, is probed against the ResultCache before
+// simulating (a warm run is pure lookups — see bench_store), and the
+// table below is rebuilt from the per-cell snapshots (graph.* counters)
+// rather than the tasks' own RunStats — the spine's accounting is the
+// figure. With the spine compiled out (-DIMPACT_OBS=OFF) the table falls
+// back to the RunStats cells, which are identical.
 #include <cstdio>
 #include <iterator>
 #include <string>
 #include <vector>
 
-#include "exec/sweep.hpp"
 #include "graph/multiprog.hpp"
 #include "obs/scope.hpp"
 #include "obs/snapshot.hpp"
+#include "store/cell_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -35,50 +36,30 @@ int main() {
   constexpr dram::RowPolicy kPolicies[] = {
       dram::RowPolicy::kOpenRow, dram::RowPolicy::kClosedRow,
       dram::RowPolicy::kConstantTime, dram::RowPolicy::kAdaptive};
-  constexpr std::size_t kCells = std::size(kPolicies);
   const std::size_t workloads = std::size(graph::kAllWorkloads);
 
-  // Task graph: each workload's input build feeds its four policy cells.
-  std::vector<graph::WorkloadInput> inputs(workloads);
-  std::vector<std::array<graph::RunStats, kCells>> stats(workloads);
-  std::vector<std::array<exec::Sweep::TaskId, kCells>> cells(workloads);
-  exec::Sweep sweep(&pool);
-  sweep.set_capture(true);
-  for (std::size_t w = 0; w < workloads; ++w) {
-    const auto kind = graph::kAllWorkloads[w];
-    const exec::Sweep::TaskId build = sweep.add(
-        "input:" + std::string(to_string(kind)),
-        [&inputs, &config, w, kind] {
-          inputs[w] = graph::build_input(config, kind);
-        });
-    for (std::size_t p = 0; p < kCells; ++p) {
-      cells[w][p] = sweep.add(
-          "run:" + std::string(to_string(kind)) + ":" +
-              to_string(kPolicies[p]),
-          [&, w, p] {
-            stats[w][p] =
-                graph::run_multiprogrammed(config, inputs[w], kPolicies[p]);
-          },
-          {build});
-    }
-  }
-  const exec::RunReport grid = sweep.run_resilient();
+  store::ResultCache cache(store::ResultCache::options_from_env());
+  store::WorkloadStore workload_store;
+  store::CellRunner runner(cache, workload_store, &pool);
+  const store::CellRunner::MatrixResult grid =
+      runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
   if (!grid.ok()) {
-    std::printf("sweep failed: %s\n", grid.summary().c_str());
+    std::printf("sweep failed: %s\n", grid.report.summary().c_str());
     return 1;
   }
 
   // One row value: from the cell's snapshot when the spine is compiled in,
-  // from the task's own RunStats otherwise. Bit-identical either way.
+  // from the cell's RunStats otherwise. Bit-identical either way — and
+  // bit-identical whether the cell simulated or came from the cache.
   const auto cell_stats = [&](std::size_t w, std::size_t p) {
-    if (!obs::kCompiled) return stats[w][p];
-    const obs::Snapshot& snap = grid.snapshots[cells[w][p]];
+    const store::CellRunner::MatrixCell& cell = grid.cells[w][p];
+    if (!obs::kCompiled) return cell.stats;
     graph::RunStats r;
-    r.cycles = snap.counter("graph.cycles");
-    r.instructions = snap.counter("graph.instructions");
-    r.accesses = snap.counter("graph.accesses");
-    r.llc_misses = snap.counter("graph.llc_misses");
-    r.row_hit_rate = snap.gauge("graph.row_hit_rate");
+    r.cycles = cell.snapshot.counter("graph.cycles");
+    r.instructions = cell.snapshot.counter("graph.instructions");
+    r.accesses = cell.snapshot.counter("graph.accesses");
+    r.llc_misses = cell.snapshot.counter("graph.llc_misses");
+    r.row_hit_rate = cell.snapshot.gauge("graph.row_hit_rate");
     return r;
   };
 
@@ -101,8 +82,8 @@ int main() {
     ctd_sum += overhead(2);
     adp_sum += overhead(3);
     ++n;
-    for (std::size_t p = 0; p < kCells; ++p) {
-      totals.merge(grid.snapshots[cells[w][p]]);
+    for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
+      totals.merge(grid.cells[w][p].snapshot);
     }
     table.add_row({to_string(graph::kAllWorkloads[w]),
                    util::Table::num(open_row.mpki()),
@@ -127,5 +108,13 @@ int main() {
     std::printf("\ngrid totals (merged per-cell obs snapshots):\n%s",
                 totals.table("  ").c_str());
   }
+  const store::ResultCache::Stats cs = cache.stats();
+  std::fprintf(stderr,
+               "store: %llu hits (%llu from disk), %llu misses, %llu "
+               "stored\n",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.disk_hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.stored));
   return 0;
 }

@@ -5,25 +5,25 @@
 // to a DRAM row activation, the number of memory requests it issues, and
 // the residual timing margin (conflict minus no-conflict latency as seen
 // through the primitive).
+//
+// One cell per primitive, run through the store::CellRunner: each cell
+// builds its own MemorySystem and renders its finished table row, so the
+// rows replay from the ResultCache when warm — output identical to the
+// old serial loop either way.
 #include <cstdio>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "pim/pei.hpp"
+#include "store/cell_runner.hpp"
 #include "sys/system.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace impact;
-
-struct PrimitiveRow {
-  const char* name;
-  const char* no_lookup;        // Avoids cache lookup?
-  const char* few_accesses;     // Avoids excessive memory accesses?
-  const char* detectability;    // Timing difference detectable?
-  const char* isa_guarantee;    // Guaranteed to work by the ISA?
-  double measured_cost;         // Cycles per use (to one activation).
-  double timing_margin;         // Conflict-vs-hit margin via primitive.
-};
 
 /// Measures (cost, margin) of reaching a DRAM activation through one
 /// primitive. `access(v, clock)` must perform ONE primitive use that ends
@@ -51,6 +51,28 @@ std::pair<double, double> measure(Access access, sys::VAddr target,
   return {hit_total / kIters, (conflict_total - hit_total) / kIters};
 }
 
+/// Two rows in the same bank: `target` is probed, `disturber` causes the
+/// row conflict.
+std::pair<sys::VAddr, sys::VAddr> make_rows(sys::MemorySystem& system) {
+  const auto a = system.vmem().map_row(1, 2, 10);
+  const auto b = system.vmem().map_row(1, 2, 11);
+  system.warm_span(1, a);
+  system.warm_span(1, b);
+  return {a.vaddr, b.vaddr};
+}
+
+/// Renders one finished table row from a primitive's verdicts + measures.
+std::vector<std::string> render_row(const char* name, const char* no_lookup,
+                                    const char* few_accesses,
+                                    const char* detectability,
+                                    const char* isa_guarantee, double cost,
+                                    double margin) {
+  return {name,          no_lookup,
+          few_accesses,  detectability,
+          isa_guarantee, util::Table::num(cost, 0),
+          util::Table::num(margin, 0)};
+}
+
 }  // namespace
 
 int main() {
@@ -59,89 +81,99 @@ int main() {
   std::printf("=== bench_table1: attack primitive comparison ===\n%s\n",
               config.describe().c_str());
 
-  // Two rows in the same bank: `target` is probed, `disturber` causes the
-  // row conflict.
-  auto make_rows = [&](sys::MemorySystem& system) {
-    const auto a = system.vmem().map_row(1, 2, 10);
-    const auto b = system.vmem().map_row(1, 2, 11);
-    system.warm_span(1, a);
-    system.warm_span(1, b);
-    return std::pair{a.vaddr, b.vaddr};
-  };
+  constexpr const char* kPrimitives[] = {"clflush", "eviction", "dma",
+                                         "nontemporal", "pim"};
+  constexpr std::size_t kCells = std::size(kPrimitives);
 
-  std::vector<PrimitiveRow> rows;
-
-  {  // clflush + reload.
-    sys::MemorySystem system(config);
-    auto [t, d] = make_rows(system);
-    auto [cost, margin] = measure(
-        [&](sys::VAddr v, util::Cycle& c) {
-          (void)system.clflush(1, v, c);
-          c += 20;  // mfence.
-          (void)system.load(1, v, c);
-        },
-        t, d);
-    rows.push_back({"Specialized instructions (clflush)", "no", "yes", "yes",
-                    "yes", cost, margin});
-  }
-  {  // Eviction sets.
-    sys::SystemConfig evict_cfg = config;
-    evict_cfg.mapping = dram::MappingScheme::kXorBankHash;
-    sys::MemorySystem system(evict_cfg);
-    auto [t, d] = make_rows(system);
-    auto [cost, margin] = measure(
-        [&](sys::VAddr v, util::Cycle& c) {
-          (void)system.evict(1, v, c);
-          (void)system.load(1, v, c);
-        },
-        t, d);
-    rows.push_back({"Eviction sets", "no", "no", "yes", "no", cost, margin});
-  }
-  {  // DMA engine.
-    sys::MemorySystem system(config);
-    auto [t, d] = make_rows(system);
-    auto [cost, margin] = measure(
-        [&](sys::VAddr v, util::Cycle& c) {
-          (void)system.dma_access(1, v, c);
-        },
-        t, d);
-    rows.push_back(
-        {"DMA / R-DMA", "yes", "yes", "no", "n/a", cost, margin});
-  }
-  {  // Non-temporal hints.
-    sys::MemorySystem system(config);
-    auto [t, d] = make_rows(system);
-    auto [cost, margin] = measure(
-        [&](sys::VAddr v, util::Cycle& c) {
-          c += system.hierarchy(1).store_nontemporal(
-              system.vmem().translate(1, v), c);
-        },
-        t, d);
-    rows.push_back({"Non-temporal memory hints", "no", "yes", "yes", "no",
-                    cost, margin});
-  }
-  {  // PiM operations (PEI).
-    sys::MemorySystem system(config);
-    auto [t, d] = make_rows(system);
-    pim::PeiDispatcher pei(pim::PeiConfig{}, system, 1);
-    auto [cost, margin] = measure(
-        [&](sys::VAddr v, util::Cycle& c) {
-          const auto col = pei.next_bypass_column(8192, 64);
-          (void)pei.execute(v + col, c);
-        },
-        t, d);
-    rows.push_back(
-        {"PiM operations", "yes", "yes", "yes", "yes", cost, margin});
+  exec::ThreadPool pool;
+  store::ResultCache cache(store::ResultCache::options_from_env());
+  store::WorkloadStore workloads;
+  store::CellRunner runner(cache, workloads, &pool);
+  const auto result = runner.rows(
+      "table1.primitives", kCells,
+      [&](std::size_t i) {
+        store::Canon c;
+        c.field("cell", "table1.primitive");
+        c.field("primitive", kPrimitives[i]);
+        c.object("system", store::canon_of(config));
+        return c.fingerprint();
+      },
+      [&](std::size_t i) -> std::vector<std::string> {
+        switch (i) {
+          case 0: {  // clflush + reload.
+            sys::MemorySystem system(config);
+            auto [t, d] = make_rows(system);
+            auto [cost, margin] = measure(
+                [&](sys::VAddr v, util::Cycle& c) {
+                  (void)system.clflush(1, v, c);
+                  c += 20;  // mfence.
+                  (void)system.load(1, v, c);
+                },
+                t, d);
+            return render_row("Specialized instructions (clflush)", "no",
+                              "yes", "yes", "yes", cost, margin);
+          }
+          case 1: {  // Eviction sets.
+            sys::SystemConfig evict_cfg = config;
+            evict_cfg.mapping = dram::MappingScheme::kXorBankHash;
+            sys::MemorySystem system(evict_cfg);
+            auto [t, d] = make_rows(system);
+            auto [cost, margin] = measure(
+                [&](sys::VAddr v, util::Cycle& c) {
+                  (void)system.evict(1, v, c);
+                  (void)system.load(1, v, c);
+                },
+                t, d);
+            return render_row("Eviction sets", "no", "no", "yes", "no", cost,
+                              margin);
+          }
+          case 2: {  // DMA engine.
+            sys::MemorySystem system(config);
+            auto [t, d] = make_rows(system);
+            auto [cost, margin] = measure(
+                [&](sys::VAddr v, util::Cycle& c) {
+                  (void)system.dma_access(1, v, c);
+                },
+                t, d);
+            return render_row("DMA / R-DMA", "yes", "yes", "no", "n/a", cost,
+                              margin);
+          }
+          case 3: {  // Non-temporal hints.
+            sys::MemorySystem system(config);
+            auto [t, d] = make_rows(system);
+            auto [cost, margin] = measure(
+                [&](sys::VAddr v, util::Cycle& c) {
+                  c += system.hierarchy(1).store_nontemporal(
+                      system.vmem().translate(1, v), c);
+                },
+                t, d);
+            return render_row("Non-temporal memory hints", "no", "yes",
+                              "yes", "no", cost, margin);
+          }
+          default: {  // PiM operations (PEI).
+            sys::MemorySystem system(config);
+            auto [t, d] = make_rows(system);
+            pim::PeiDispatcher pei(pim::PeiConfig{}, system, 1);
+            auto [cost, margin] = measure(
+                [&](sys::VAddr v, util::Cycle& c) {
+                  const auto col = pei.next_bypass_column(8192, 64);
+                  (void)pei.execute(v + col, c);
+                },
+                t, d);
+            return render_row("PiM operations", "yes", "yes", "yes", "yes",
+                              cost, margin);
+          }
+        }
+      });
+  if (!result.ok()) {
+    std::printf("sweep failed: %s\n", result.report.summary().c_str());
+    return 1;
   }
 
   util::Table table({"primitive", "no cache lookup", "no excessive accesses",
                      "detectable margin", "ISA guarantee",
                      "cycles/activation", "margin (cyc)"});
-  for (const auto& r : rows) {
-    table.add_row({r.name, r.no_lookup, r.few_accesses, r.detectability,
-                   r.isa_guarantee, util::Table::num(r.measured_cost, 0),
-                   util::Table::num(r.timing_margin, 0)});
-  }
+  for (const auto& row : result.rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
   std::printf("Paper's Table 1 verdicts are reproduced qualitatively; the\n"
               "two measured columns ground them: PiM reaches a row\n"

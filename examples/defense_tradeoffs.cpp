@@ -2,17 +2,22 @@
 // constant-time policies versus the baseline open-row policy on
 // multiprogrammed graph workloads.
 //
-// The (workload, policy) grid is embarrassingly parallel; the sweep engine
-// fans it out over IMPACT_THREADS workers (default: hardware concurrency)
-// with bit-identical results to a serial run.
+// The (workload, policy) grid is embarrassingly parallel; the
+// store::CellRunner fans it out over IMPACT_THREADS workers (default:
+// hardware concurrency) with bit-identical results to a serial run, and
+// probes the content-addressed ResultCache per cell — point
+// IMPACT_STORE_DIR at a directory and a second invocation replays from
+// disk instead of simulating.
 //
 //   $ ./defense_tradeoffs
 //   $ IMPACT_THREADS=4 ./defense_tradeoffs
+//   $ IMPACT_STORE_DIR=/tmp/impact-store ./defense_tradeoffs  # twice
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
-#include "exec/sweep.hpp"
 #include "graph/multiprog.hpp"
+#include "store/cell_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -21,18 +26,39 @@ int main() {
   graph::MultiprogConfig config;  // Scaled Fig. 11 configuration.
   exec::ThreadPool pool;
 
+  constexpr dram::RowPolicy kPolicies[] = {dram::RowPolicy::kOpenRow,
+                                           dram::RowPolicy::kClosedRow,
+                                           dram::RowPolicy::kConstantTime};
+  store::ResultCache cache(store::ResultCache::options_from_env());
+  store::WorkloadStore workloads;
+  store::CellRunner runner(cache, workloads, &pool);
+  const auto grid =
+      runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
+  if (!grid.ok()) {
+    std::printf("sweep failed: %s\n", grid.report.summary().c_str());
+    return 1;
+  }
+
   util::Table table({"workload", "MPKI", "row-hit-rate", "CRP overhead",
                      "CTD overhead"});
   std::vector<double> crp;
   std::vector<double> ctd;
-  for (const auto& r :
-       graph::evaluate_defense_matrix(config, graph::kAllWorkloads, &pool)) {
-    crp.push_back(r.crp_overhead());
-    ctd.push_back(r.ctd_overhead());
-    table.add_row({to_string(r.kind), util::Table::num(r.open_row.mpki()),
-                   util::Table::num(r.open_row.row_hit_rate),
-                   util::Table::num(100.0 * r.crp_overhead(), 1) + "%",
-                   util::Table::num(100.0 * r.ctd_overhead(), 1) + "%"});
+  for (std::size_t w = 0; w < std::size(graph::kAllWorkloads); ++w) {
+    const graph::RunStats& open_row = grid.cells[w][0].stats;
+    const auto overhead = [&](std::size_t p) {
+      return open_row.cycles == 0
+                 ? 0.0
+                 : static_cast<double>(grid.cells[w][p].stats.cycles) /
+                           static_cast<double>(open_row.cycles) -
+                       1.0;
+    };
+    crp.push_back(overhead(1));
+    ctd.push_back(overhead(2));
+    table.add_row({to_string(graph::kAllWorkloads[w]),
+                   util::Table::num(open_row.mpki()),
+                   util::Table::num(open_row.row_hit_rate),
+                   util::Table::num(100.0 * overhead(1), 1) + "%",
+                   util::Table::num(100.0 * overhead(2), 1) + "%"});
   }
   std::printf("%s", table.render().c_str());
   double crp_avg = 0.0;

@@ -1,16 +1,57 @@
 #include "exec/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "obs/registry.hpp"
 #include "obs/scope.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace impact::exec {
+
+namespace {
+
+/// Probes a task's cache hook; any exception degrades to a miss (the cache
+/// is an accelerator, never a correctness dependency).
+bool probe_task(const CacheHooks& hooks) {
+  if (!hooks.probe) return false;
+  try {
+    return hooks.probe();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Publishes a completed cell; returns whether the publish took. Failures
+/// are swallowed for the same reason probe failures are.
+bool publish_task(const CacheHooks& hooks, const obs::Snapshot& snapshot) {
+  if (!hooks.publish) return false;
+  try {
+    hooks.publish(snapshot);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Mirrors a run's cache accounting into the caller's obs registry so
+/// drivers see hit rates in their snapshots without extra plumbing.
+void emit_cache_obs(std::size_t hits, std::size_t misses,
+                    std::size_t stored) {
+  if (hits + misses + stored == 0) return;
+  if (obs::Registry* reg = obs::current_registry()) {
+    reg->counter("exec.sweep.cache_hits").add(hits);
+    reg->counter("exec.sweep.cache_misses").add(misses);
+    reg->counter("exec.sweep.cache_stored").add(stored);
+  }
+}
+
+}  // namespace
 
 std::string RunReport::summary() const {
   std::string s = std::to_string(completed) + "/" + std::to_string(tasks) +
@@ -18,6 +59,10 @@ std::string RunReport::summary() const {
   s += ", " + std::to_string(failed) + " failed";
   s += ", " + std::to_string(skipped) + " skipped";
   s += ", " + std::to_string(retries) + " retries";
+  if (cache_hits + cache_misses > 0) {
+    s += ", " + std::to_string(cache_hits) + " cache hits / " +
+         std::to_string(cache_misses) + " misses";
+  }
   return s;
 }
 
@@ -31,17 +76,49 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index) {
 
 Sweep::TaskId Sweep::add(std::string label, std::function<void()> fn,
                          std::initializer_list<TaskId> deps) {
+  return add_cached(std::move(label), std::move(fn), CacheHooks{}, deps);
+}
+
+Sweep::TaskId Sweep::add_cached(std::string label, std::function<void()> fn,
+                                CacheHooks hooks,
+                                std::initializer_list<TaskId> deps) {
   const TaskId id = tasks_.size();
   for (const TaskId d : deps) {
     util::check(d < id, "Sweep::add: dependency on a not-yet-added task");
   }
   tasks_.push_back(Task{std::move(label), std::move(fn),
-                        std::vector<TaskId>(deps)});
+                        std::vector<TaskId>(deps), std::move(hooks)});
   return id;
 }
 
 void Sweep::run() {
   if (tasks_.empty()) return;
+
+  // Cache accounting for this run (run() has no RunReport to carry it, so
+  // it surfaces through the exec.sweep.cache_* counters only). Atomics:
+  // the parallel path updates these from worker threads.
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> cache_misses{0};
+  std::atomic<std::size_t> cache_stored{0};
+
+  // Runs one cell through its cache hooks: a probe hit satisfies the cell
+  // without executing it; a completed miss is offered back via publish
+  // (with an empty snapshot — run() has no capture machinery; snapshots
+  // travel through run_resilient).
+  const auto run_cell = [&](TaskId id) {
+    const Task& task = tasks_[id];
+    if (task.hooks.probe) {
+      if (probe_task(task.hooks)) {
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    task.fn();
+    if (publish_task(task.hooks, obs::Snapshot{})) {
+      cache_stored.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
 
   if (pool_ == nullptr || pool_->size() <= 1) {
     // Insertion order is topological by construction.
@@ -55,12 +132,14 @@ void Sweep::run() {
         continue;
       }
       try {
-        tasks_[id].fn();
+        run_cell(id);
       } catch (...) {
         failed[id] = true;
         if (!first) first = std::current_exception();
       }
     }
+    emit_cache_obs(cache_hits.load(), cache_misses.load(),
+                   cache_stored.load());
     if (first) std::rethrow_exception(first);
     return;
   }
@@ -95,7 +174,7 @@ void Sweep::run() {
     }
     if (!cancelled) {
       try {
-        tasks_[id].fn();
+        run_cell(id);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state.mutex);
         if (!state.first_error) state.first_error = std::current_exception();
@@ -122,8 +201,10 @@ void Sweep::run() {
   {
     std::unique_lock<std::mutex> lock(state.mutex);
     state.done_cv.wait(lock, [&] { return state.remaining == 0; });
-    if (state.first_error) std::rethrow_exception(state.first_error);
   }
+  emit_cache_obs(cache_hits.load(), cache_misses.load(),
+                 cache_stored.load());
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 namespace {
@@ -166,6 +247,19 @@ Attempt run_with_retries(const std::function<void()>& fn,
 
 }  // namespace
 
+namespace {
+
+/// Full outcome of one resilient cell: the attempt record plus the cache
+/// facts the retire step folds into the report under its lock.
+struct CellOutcome {
+  Attempt attempt;
+  bool probed = false;  ///< Task had a probe hook.
+  bool hit = false;     ///< Probe satisfied the cell; fn never ran.
+  bool stored = false;  ///< Publish hook accepted the completed cell.
+};
+
+}  // namespace
+
 RunReport Sweep::run_resilient(const RetryPolicy& policy) {
   RunReport report;
   report.tasks = tasks_.size();
@@ -173,16 +267,76 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
   // Preallocated before any task starts: concurrent cells then write only
   // their own (distinct) slot, so capture needs no extra locking.
   if (capture_) report.snapshots.resize(tasks_.size());
+  // Which cells never executed — satisfied by their cache probe, or
+  // skipped because a dependency failed — recorded so the post-run
+  // assertion can check their snapshot slots stayed empty. unsigned char
+  // (not vector<bool>): concurrent cells write distinct slots.
+  std::vector<unsigned char> cache_hit(tasks_.size(), 0);
+  std::vector<unsigned char> dep_skipped(tasks_.size(), 0);
 
-  // Runs one cell, under a fresh obs scope when capture is on. The scope
-  // is per-attempt-sequence (not per-attempt): a retried cell's snapshot
-  // accumulates the traffic of every attempt, which is the honest cost.
+  // Runs one cell through probe -> retries -> publish, under a fresh obs
+  // scope when capture is on. The scope is per-attempt-sequence (not
+  // per-attempt): a retried cell's snapshot accumulates the traffic of
+  // every attempt, which is the honest cost. A probe hit never opens a
+  // scope — the cell does no work, so its snapshot slot must stay empty.
+  // Publish runs after the scope closes (the cell's own telemetry is
+  // sealed first) and only for successful cells.
   const auto attempt_cell = [&](TaskId id) {
-    if (!capture_) return run_with_retries(tasks_[id].fn, policy);
-    obs::Scope scope;
-    Attempt a = run_with_retries(tasks_[id].fn, policy);
-    report.snapshots[id] = scope.snapshot();
-    return a;
+    const Task& task = tasks_[id];
+    CellOutcome out;
+    out.probed = static_cast<bool>(task.hooks.probe);
+    if (out.probed && probe_task(task.hooks)) {
+      out.hit = true;
+      out.attempt.ok = true;
+      out.attempt.attempts = 1;  // Retire arithmetic: zero retries.
+      cache_hit[id] = 1;
+      return out;
+    }
+    if (!capture_) {
+      out.attempt = run_with_retries(task.fn, policy);
+      if (out.attempt.ok) {
+        out.stored = publish_task(task.hooks, obs::Snapshot{});
+      }
+      return out;
+    }
+    {
+      obs::Scope scope;
+      out.attempt = run_with_retries(task.fn, policy);
+      report.snapshots[id] = scope.snapshot();
+    }
+    if (out.attempt.ok) {
+      out.stored = publish_task(task.hooks, report.snapshots[id]);
+    }
+    return out;
+  };
+
+  // Folds one retired cell into the report. Caller holds whatever lock
+  // protects the report (none in serial mode).
+  const auto account = [&report](const CellOutcome& out) {
+    report.retries += out.attempt.attempts - 1;
+    if (out.hit) {
+      ++report.cache_hits;
+    } else if (out.probed) {
+      ++report.cache_misses;
+    }
+    if (out.stored) ++report.cache_stored;
+    if (out.attempt.ok) ++report.completed;
+  };
+
+  // Every cell that never executed (cache hit or dependency skip) must
+  // leave its preallocated snapshot slot empty-but-valid: merging the
+  // grid's snapshots would otherwise double-count cached work, and the
+  // CellRunner relies on "empty slot == no fresh telemetry" to splice
+  // cached snapshots back in. Enforced, not assumed. (Cells that ran and
+  // failed are excluded on purpose: their snapshots hold the traffic of
+  // the failed attempts, which is real.)
+  const auto assert_unrun_slots_empty = [&] {
+    if (!capture_) return;
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      if (cache_hit[id] != 0 || dep_skipped[id] != 0) {
+        IMPACT_ASSERT(report.snapshots[id].empty());
+      }
+    }
   };
 
   if (pool_ == nullptr || pool_->size() <= 1) {
@@ -194,22 +348,25 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
       }
       if (dep_failed) {
         failed[id] = true;
+        dep_skipped[id] = 1;
         ++report.skipped;
         report.errors.push_back(CellError{id, tasks_[id].label, 0, true,
                                           "skipped: dependency failed"});
         continue;
       }
-      const Attempt a = attempt_cell(id);
-      report.retries += a.attempts - 1;
-      if (a.ok) {
-        ++report.completed;
-      } else {
+      const CellOutcome out = attempt_cell(id);
+      account(out);
+      if (!out.attempt.ok) {
         failed[id] = true;
         ++report.failed;
-        report.errors.push_back(
-            CellError{id, tasks_[id].label, a.attempts, false, a.message});
+        report.errors.push_back(CellError{id, tasks_[id].label,
+                                          out.attempt.attempts, false,
+                                          out.attempt.message});
       }
     }
+    assert_unrun_slots_empty();
+    emit_cache_obs(report.cache_hits, report.cache_misses,
+                   report.cache_stored);
     return report;
   }
 
@@ -250,16 +407,17 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
         dep_failed = dep_failed || state.failed[d];
       }
     }
-    Attempt a;
-    if (!dep_failed) a = attempt_cell(id);
+    CellOutcome out;
+    if (!dep_failed) out = attempt_cell(id);
     if (dep_failed) {
+      dep_skipped[id] = 1;
       cell_errors[id] = local_arena().make<CellError>(
           CellError{id, tasks_[id].label, 0, true,
                     "skipped: dependency failed"});
-    } else if (!a.ok) {
+    } else if (!out.attempt.ok) {
       cell_errors[id] = local_arena().make<CellError>(
-          CellError{id, tasks_[id].label, a.attempts, false,
-                    std::move(a.message)});
+          CellError{id, tasks_[id].label, out.attempt.attempts, false,
+                    std::move(out.attempt.message)});
     }
 
     std::vector<TaskId> ready;
@@ -269,10 +427,8 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
         state.failed[id] = true;
         ++report.skipped;
       } else {
-        report.retries += a.attempts - 1;
-        if (a.ok) {
-          ++report.completed;
-        } else {
+        account(out);
+        if (!out.attempt.ok) {
           state.failed[id] = true;
           ++report.failed;
         }
@@ -300,6 +456,9 @@ RunReport Sweep::run_resilient(const RetryPolicy& policy) {
   for (CellError* e : cell_errors) {
     if (e != nullptr) report.errors.push_back(std::move(*e));
   }
+  assert_unrun_slots_empty();
+  emit_cache_obs(report.cache_hits, report.cache_misses,
+                 report.cache_stored);
   return report;
 }
 

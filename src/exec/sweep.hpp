@@ -67,10 +67,19 @@ struct RunReport {
   std::size_t failed = 0;
   std::size_t skipped = 0;
   std::size_t retries = 0;  ///< Extra attempts beyond the first, summed.
+  /// Cache accounting for tasks added via `add_cached` (all zero when the
+  /// sweep has no cached tasks). A hit counts toward `completed` — the
+  /// cell's result exists, it just came from the cache — and its cell
+  /// function never runs. `cache_stored` counts successful publishes.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_stored = 0;
   std::vector<CellError> errors;  ///< Failed + skipped cells, by task id.
   /// Per-cell obs snapshots, indexed by TaskId — populated only when the
   /// sweep ran with `set_capture(true)` (empty otherwise, and empty per
-  /// cell for skipped tasks). Merge them for grid-level totals.
+  /// cell for skipped tasks and cache hits: a hit never executes, so its
+  /// slot stays empty-but-valid and mergeable). Merge them for grid-level
+  /// totals.
   std::vector<obs::Snapshot> snapshots;
 
   [[nodiscard]] bool ok() const { return failed == 0 && skipped == 0; }
@@ -82,6 +91,23 @@ struct RunReport {
 /// avalanche); distinct indices yield decorrelated streams.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
                                         std::uint64_t task_index);
+
+/// Optional cache integration for one task, kept deliberately generic so
+/// exec stays below the store layer in the DAG: the sweep engine knows
+/// "this cell might already be solved", not how solutions are addressed.
+///
+/// `probe()` runs before the cell function; returning true means the
+/// cell's result is already available elsewhere (the probe is responsible
+/// for materializing it into the caller's output slot) and the function is
+/// skipped. `publish(snapshot)` runs after the cell function succeeds,
+/// receiving the cell's captured obs::Snapshot (empty when the sweep ran
+/// without capture). Either hook may be empty. Hooks must never break a
+/// sweep: exceptions from `probe` degrade to a miss, exceptions from
+/// `publish` are swallowed (the result stands, it just is not cached).
+struct CacheHooks {
+  std::function<bool()> probe;
+  std::function<void(const obs::Snapshot&)> publish;
+};
 
 class Sweep {
  public:
@@ -104,6 +130,14 @@ class Sweep {
   /// therefore always a valid topological order). Returns the task's id.
   TaskId add(std::string label, std::function<void()> fn,
              std::initializer_list<TaskId> deps = {});
+
+  /// Like add(), but with cache hooks: `hooks.probe` may satisfy the cell
+  /// without running `fn`, and `hooks.publish` offers the completed cell
+  /// for caching. Works under both run() and run_resilient(); hits are
+  /// counted in RunReport::cache_hits (and by the exec.sweep.cache_*
+  /// counters when an obs registry is current).
+  TaskId add_cached(std::string label, std::function<void()> fn,
+                    CacheHooks hooks, std::initializer_list<TaskId> deps = {});
 
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
 
@@ -145,6 +179,7 @@ class Sweep {
     std::string label;
     std::function<void()> fn;
     std::vector<TaskId> deps;
+    CacheHooks hooks;  ///< Empty functions on tasks added via add().
   };
 
   ThreadPool* pool_;

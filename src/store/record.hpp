@@ -1,0 +1,50 @@
+// The cached unit of one experiment cell: a fingerprint-addressed record
+// holding the cell's serialized result payload plus its obs::Snapshot.
+//
+// Serialization is byte-stable: serializing a record, parsing it back, and
+// serializing again yields the identical byte string (doubles travel as
+// IEEE-754 bit patterns, map iteration order is the maps' own sorted
+// order, strings are length-prefixed). Byte stability is what makes the
+// IMPACT_STORE_VERIFY mode a one-line comparison — a re-simulated cell
+// either reproduces the cached bytes exactly or the cache is wrong — and
+// what tests/test_store.cpp pins for the on-disk round trip.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/multiprog.hpp"
+#include "obs/snapshot.hpp"
+#include "store/fingerprint.hpp"
+
+namespace impact::store {
+
+struct Record {
+  Fingerprint fp;
+  std::string label;     ///< Human-readable cell label (diagnostics only).
+  std::string payload;   ///< Codec output for the cell's typed result.
+  obs::Snapshot snapshot;  ///< Per-cell telemetry (empty when not captured).
+};
+
+/// Byte-stable text serialization of a record.
+[[nodiscard]] std::string serialize(const Record& record);
+
+/// Strict inverse of serialize(); nullopt on any malformed input (wrong
+/// magic, truncated section, non-canonical number).
+[[nodiscard]] std::optional<Record> parse(std::string_view bytes);
+
+// --- Payload codecs -----------------------------------------------------
+
+/// graph::RunStats — the Fig. 11 defense-matrix cell result.
+[[nodiscard]] std::string encode(const graph::RunStats& stats);
+[[nodiscard]] std::optional<graph::RunStats> decode_run_stats(
+    std::string_view payload);
+
+/// A rendered table row (vector of cells) — the generic result type of the
+/// ablation/figure drivers that sweep a parameter into printed rows.
+[[nodiscard]] std::string encode_row(const std::vector<std::string>& row);
+[[nodiscard]] std::optional<std::vector<std::string>> decode_row(
+    std::string_view payload);
+
+}  // namespace impact::store

@@ -1,0 +1,38 @@
+#include "store/workload_store.hpp"
+
+namespace impact::store {
+
+Fingerprint workload_fingerprint(const graph::MultiprogConfig& config,
+                                 graph::WorkloadKind kind) {
+  Canon c;
+  c.field("graph_seed", config.graph_seed);
+  c.field("rmat_scale", config.rmat_scale);
+  c.field("edge_count", static_cast<std::uint64_t>(config.edge_count));
+  c.field("kind", to_string(kind));
+  return c.fingerprint();
+}
+
+const graph::WorkloadInput* WorkloadStore::get(
+    const graph::MultiprogConfig& config, graph::WorkloadKind kind) {
+  const Fingerprint fp = workload_fingerprint(config, kind);
+  {
+    std::scoped_lock lock(mu_);
+    if (auto it = inputs_.find(fp); it != inputs_.end()) {
+      return it->second.get();
+    }
+  }
+  // Build outside the lock; a racing duplicate build loses the emplace and
+  // is dropped (both builds are deterministic, so the results are equal).
+  auto built = std::make_unique<graph::WorkloadInput>(
+      graph::build_input(config, kind));
+  std::scoped_lock lock(mu_);
+  auto [it, _] = inputs_.emplace(fp, std::move(built));
+  return it->second.get();
+}
+
+std::size_t WorkloadStore::size() const {
+  std::scoped_lock lock(mu_);
+  return inputs_.size();
+}
+
+}  // namespace impact::store

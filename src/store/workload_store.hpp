@@ -1,0 +1,55 @@
+// Fingerprint-interned pool of immutable graph::WorkloadInputs.
+//
+// graph::build_input is deterministic in (graph_seed, rmat_scale,
+// edge_count, kind) — nothing else in MultiprogConfig reaches the RMAT
+// generator or the trace builder — so two cells whose input fingerprints
+// match can share one build. The store keys on exactly that fingerprint
+// (store::workload_fingerprint), builds at most once per key, and hands
+// out const pointers that stay valid for the store's lifetime.
+//
+// Thread safety: get() may be called concurrently from sweep workers.
+// The builder runs outside the lock (builds take seconds; serializing
+// them on a mutex would erase the sweep's parallelism), so two workers
+// racing on the same key may both build — the first to publish wins and
+// the duplicate is dropped. Determinism makes both builds identical, so
+// which one wins is unobservable.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "graph/multiprog.hpp"
+#include "store/fingerprint.hpp"
+
+namespace impact::store {
+
+/// Fingerprint of the workload-input cell: the exact dependency set of
+/// graph::build_input, nothing more. Deliberately narrower than
+/// canon_of(MultiprogConfig) — system-config changes must NOT invalidate
+/// interned inputs, or the store would rebuild identical graphs across a
+/// policy sweep.
+[[nodiscard]] Fingerprint workload_fingerprint(
+    const graph::MultiprogConfig& config, graph::WorkloadKind kind);
+
+class WorkloadStore {
+ public:
+  WorkloadStore() = default;
+  WorkloadStore(const WorkloadStore&) = delete;
+  WorkloadStore& operator=(const WorkloadStore&) = delete;
+
+  /// The interned input for (config, kind): built on first use, shared on
+  /// every later call with a matching fingerprint. The pointer is valid
+  /// until the store is destroyed.
+  [[nodiscard]] const graph::WorkloadInput* get(
+      const graph::MultiprogConfig& config, graph::WorkloadKind kind);
+
+  /// Number of distinct inputs built so far (duplicate get()s are free).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Fingerprint, std::unique_ptr<graph::WorkloadInput>> inputs_;
+};
+
+}  // namespace impact::store

@@ -15,6 +15,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   check(bins > 0, "Histogram requires at least one bin");
 }
 
+Histogram Histogram::from_parts(double lo, double hi,
+                                std::vector<std::size_t> counts,
+                                std::size_t underflow,
+                                std::size_t overflow) {
+  check(!counts.empty(), "Histogram::from_parts: empty bin list");
+  Histogram h(lo, hi, counts.size());
+  h.counts_ = std::move(counts);
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  h.total_ = underflow + overflow;
+  for (const std::size_t c : h.counts_) h.total_ += c;
+  return h;
+}
+
 void Histogram::add(double value) {
   ++total_;
   if (value < lo_) {

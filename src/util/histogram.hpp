@@ -14,8 +14,19 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Exact reconstruction from previously captured state (the store's
+  /// record deserializer): bin counts, under/overflow, and the original
+  /// [lo, hi) bounds. `total` is re-derived from the parts. Throws
+  /// std::invalid_argument on an empty bin list or hi <= lo.
+  [[nodiscard]] static Histogram from_parts(double lo, double hi,
+                                            std::vector<std::size_t> counts,
+                                            std::size_t underflow,
+                                            std::size_t overflow);
+
   void add(double value);
 
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] std::size_t total() const { return total_; }
   [[nodiscard]] std::size_t underflow() const { return underflow_; }
   [[nodiscard]] std::size_t overflow() const { return overflow_; }

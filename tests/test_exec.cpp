@@ -16,6 +16,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/multiprog.hpp"
+#include "obs/scope.hpp"
 
 namespace impact {
 namespace {
@@ -136,6 +137,104 @@ TEST(Sweep, ErrorSkipsDependentsAndRethrows) {
   sweep.add("child", [&dependent_ran] { dependent_ran = true; }, {bad});
   EXPECT_THROW(sweep.run(), std::runtime_error);
   EXPECT_FALSE(dependent_ran.load());
+}
+
+TEST(SweepCache, ProbeHitSkipsFunctionAndCounts) {
+  exec::Sweep sweep;
+  bool ran = false;
+  bool published = false;
+  sweep.add_cached(
+      "hit", [&] { ran = true; },
+      {[] { return true; }, [&](const obs::Snapshot&) { published = true; }});
+  sweep.add_cached(
+      "miss", [] {}, {[] { return false; }, {}});
+  const auto report = sweep.run_resilient();
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(ran) << "a probe hit must skip the cell function";
+  EXPECT_FALSE(published) << "publish only runs after the function";
+  EXPECT_EQ(report.completed, 2u) << "a hit still counts as completed";
+  EXPECT_EQ(report.cache_hits, 1u);
+  EXPECT_EQ(report.cache_misses, 1u);
+  EXPECT_EQ(report.retries, 0u);
+}
+
+TEST(SweepCache, HookExceptionsNeverBreakTheSweep) {
+  exec::Sweep sweep;
+  int ran = 0;
+  // A throwing probe degrades to a miss; a throwing publish is swallowed.
+  sweep.add_cached(
+      "bad-probe", [&] { ++ran; },
+      {[]() -> bool { throw std::runtime_error("probe"); },
+       [](const obs::Snapshot&) {}});
+  sweep.add_cached(
+      "bad-publish", [&] { ++ran; },
+      {[] { return false; },
+       [](const obs::Snapshot&) { throw std::runtime_error("publish"); }});
+  const auto report = sweep.run_resilient();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 2u);
+  EXPECT_EQ(report.cache_stored, 1u) << "only the surviving publish counts";
+}
+
+TEST(SweepCache, HitLeavesSnapshotSlotEmptyButValid) {
+  for (unsigned threads : {0u, 2u}) {
+    exec::ThreadPool pool(threads == 0 ? 1 : threads);
+    exec::Sweep sweep(threads == 0 ? nullptr : &pool);
+    sweep.set_capture(true);
+    const auto hit = sweep.add_cached(
+        "hit", [] { FAIL() << "must not run"; }, {[] { return true; }, {}});
+    const auto miss = sweep.add_cached(
+        "miss",
+        [] {
+          // Touch the obs spine so the miss cell's snapshot is non-empty
+          // when telemetry is compiled in.
+          if (auto c = obs::counter("exec_test.cache_cells")) c.add(1);
+        },
+        {[] { return false; }, {}});
+    const auto report = sweep.run_resilient();
+    ASSERT_TRUE(report.ok()) << threads << " thread(s)";
+    // Preallocated per-cell slots: a hit's slot exists (mergeable) but
+    // holds nothing — the cell never executed, so any content would be
+    // double-counted telemetry.
+    ASSERT_EQ(report.snapshots.size(), 2u);
+    EXPECT_TRUE(report.snapshots[hit].empty());
+    if (obs::kCompiled) {
+      EXPECT_EQ(report.snapshots[miss].counter("exec_test.cache_cells"), 1u);
+    }
+    // Merging across hit and miss slots must work without special-casing.
+    obs::Snapshot total = report.snapshots[hit];
+    total.merge(report.snapshots[miss]);
+    EXPECT_EQ(total.counters, report.snapshots[miss].counters);
+  }
+}
+
+TEST(SweepCache, PlainRunHonoursProbeAndPublish) {
+  exec::Sweep sweep;
+  bool ran = false;
+  bool published = false;
+  sweep.add_cached(
+      "hit", [&] { ran = true; }, {[] { return true; }, {}});
+  sweep.add_cached(
+      "miss", [] {},
+      {[] { return false; }, [&](const obs::Snapshot&) { published = true; }});
+  sweep.run();  // run(), not run_resilient(): same cache semantics.
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(published);
+}
+
+TEST(SweepCache, HitSatisfiesDependents) {
+  exec::Sweep sweep;
+  bool dependent_ran = false;
+  const auto producer = sweep.add_cached(
+      "producer", [] { FAIL() << "cached producer must not run"; },
+      {[] { return true; }, {}});
+  sweep.add("consumer", [&] { dependent_ran = true; }, {producer});
+  const auto report = sweep.run_resilient();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(dependent_ran)
+      << "a cache hit completes the task; dependents must proceed";
 }
 
 /// Reduced-scale Fig. 11 config: small enough that the whole grid runs in

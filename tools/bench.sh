@@ -41,7 +41,7 @@ cmake -S "${ROOT}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE="${BENCH_BUILD_TYPE}" -DIMPACT_SANITIZE="" \
   > /dev/null \
   && cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-       --target bench_simulator_perf bench_sweep_scaling
+       --target bench_simulator_perf bench_sweep_scaling bench_store
 if [ $? -ne 0 ]; then
   echo "bench: build failed" >&2
   exit 1
@@ -51,6 +51,14 @@ fi
 # google-benchmark context reports the *library's* build type, which for a
 # system-installed libbenchmark says "debug" regardless of our own flags.
 BUILD_TYPE_RECORDED="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${BUILD_DIR}/CMakeCache.txt" | head -n 1)"
+
+# The benchmark *library's* build flavor, as detected at configure time
+# (CMakeLists.txt). A Debug libbenchmark (common for distro packages)
+# inflates every microbench measurement; baselines record this so smoke
+# runs can refuse to treat debug-library numbers as a regression gate.
+BENCH_LIBRARY_TYPE="$(sed -n \
+  's/^IMPACT_BENCHMARK_LIBRARY_BUILD_TYPE:[^=]*=//p' \
   "${BUILD_DIR}/CMakeCache.txt" | head -n 1)"
 
 TMP_DIR="$(mktemp -d)"
@@ -119,9 +127,25 @@ if [ $? -ne 0 ]; then
   exit 1
 fi
 
+# --- Experiment-cache effectiveness (bench_store) -----------------------
+# Cold-vs-warm Fig. 11 grid through the store::ResultCache, with
+# bit-identity checks; the binary exits nonzero on any warm/cold mismatch.
+STORE_ARGS=()
+if [ "${SMOKE}" -eq 1 ]; then
+  STORE_ARGS+=(--smoke)
+fi
+"${BUILD_DIR}/bench/bench_store" "${STORE_ARGS[@]}" \
+  > "${TMP_DIR}/store.json"
+if [ $? -ne 0 ]; then
+  echo "bench: bench_store failed (warm results not bit-identical?)" >&2
+  exit 1
+fi
+
 # --- Assemble / compare -------------------------------------------------
 SMOKE=${SMOKE} TMP_DIR=${TMP_DIR} BASELINE=${BASELINE} \
-BUILD_TYPE_RECORDED=${BUILD_TYPE_RECORDED} python3 - <<'EOF'
+BUILD_TYPE_RECORDED=${BUILD_TYPE_RECORDED} \
+BENCH_LIBRARY_TYPE=${BENCH_LIBRARY_TYPE} \
+ALLOW_DEBUG_LIBRARY=${IMPACT_BENCH_ALLOW_DEBUG_LIBRARY:-0} python3 - <<'EOF'
 import json
 import os
 import sys
@@ -135,6 +159,15 @@ with open(os.path.join(tmp, "micro.json")) as f:
     micro = json.load(f)
 with open(os.path.join(tmp, "sweep.json")) as f:
     sweep = json.load(f)
+with open(os.path.join(tmp, "store.json")) as f:
+    store = json.load(f)
+
+# Library flavor: prefer the configure-time detection; older build trees
+# without the cache variable fall back to what the benchmark runtime says.
+library_type = os.environ["BENCH_LIBRARY_TYPE"].strip().lower()
+if not library_type:
+    library_type = micro.get("context", {}).get(
+        "library_build_type", "").lower()
 
 # Scaling honesty: a serial-vs-parallel wall-clock ratio measured on a
 # single CPU is scheduler noise, not a speedup. The binary flags this
@@ -168,11 +201,11 @@ result = {
         # libbenchmark compiled as debug does not make *our* numbers
         # debug numbers.)
         "build_type": build_type,
-        "benchmark_library_build_type":
-            micro.get("context", {}).get("library_build_type", ""),
+        "benchmark_library_build_type": library_type,
     },
     "benchmarks": {},
     "sweep_scaling": sweep,
+    "bench_store": store,
 }
 
 # Best-of across the repetitions (aggregate rows are skipped; the name
@@ -228,6 +261,31 @@ if baseline_type != build_type:
           file=sys.stderr)
     sys.exit(1)
 
+# Same refusal for the benchmark *library*: a Debug libbenchmark inflates
+# the per-iteration overhead of every microbench, so a baseline recorded
+# against one is not a meaningful regression gate. Environments that only
+# have a debug system library (no benchmark source tree to build Release
+# via IMPACT_BENCHMARK_SOURCE_DIR) can opt in to the noisier comparison
+# with IMPACT_BENCH_ALLOW_DEBUG_LIBRARY=1 — both sides must still match.
+allow_debug = os.environ["ALLOW_DEBUG_LIBRARY"] == "1"
+baseline_library = baseline.get("context", {}).get(
+    "benchmark_library_build_type", "").lower()
+if baseline_library != library_type:
+    print(f"bench: benchmark-library mismatch: baseline recorded against "
+          f"a '{baseline_library or 'unknown'}' libbenchmark but this run "
+          f"linked a '{library_type or 'unknown'}' one. Regenerate the "
+          "baseline (or set IMPACT_BENCHMARK_SOURCE_DIR so both builds "
+          "use a Release library).", file=sys.stderr)
+    sys.exit(1)
+if baseline_library == "debug" and not allow_debug:
+    print("bench: baseline was recorded against a Debug libbenchmark; "
+          "refusing to smoke against inflated numbers. Build the library "
+          "Release (-DIMPACT_BENCHMARK_SOURCE_DIR=<benchmark checkout>) "
+          "and regenerate the baseline, or set "
+          "IMPACT_BENCH_ALLOW_DEBUG_LIBRARY=1 to accept the noise.",
+          file=sys.stderr)
+    sys.exit(1)
+
 failed = False
 
 # The batch-kernel benches are required entries of the smoke gate (the
@@ -257,6 +315,27 @@ for name, entry in baseline.get("benchmarks", {}).items():
 if not sweep.get("cells_identical", False):
     print("bench: sweep cells not bit-identical", file=sys.stderr)
     failed = True
+
+# Experiment-cache gate: warm results must be bit-identical to cold, and
+# (outside the verify mode, which re-simulates every hit by design) a warm
+# grid must actually hit the cache and beat a cold one by >=10x.
+if not store.get("cells_identical", False):
+    print("bench: store warm cells not bit-identical to cold",
+          file=sys.stderr)
+    failed = True
+if not store.get("verify", False):
+    if store.get("hit_rate", 0.0) <= 0.0:
+        print("bench: store warm run recorded no cache hits",
+              file=sys.stderr)
+        failed = True
+    if store.get("speedup", 0.0) < 10.0:
+        print(f"bench: store warm speedup {store.get('speedup', 0.0):.1f}x "
+              "below the 10x floor", file=sys.stderr)
+        failed = True
+    else:
+        print(f"bench: store warm replay {store.get('speedup', 0.0):.0f}x "
+              f"faster than cold (hit rate "
+              f"{100.0 * store.get('hit_rate', 0.0):.0f}%)")
 
 sys.exit(1 if failed else 0)
 EOF

@@ -16,7 +16,11 @@
 #   5. obs spine: a -DIMPACT_OBS=OFF build + full ctest (the telemetry
 #      spine must compile away cleanly), then quickstart --trace JSON
 #      validation (dram/pim/channel spans present, events well-formed),
-#   6. tools/bench.sh --smoke: fails on >20% items/sec regression against
+#   6. experiment store: a cold->warm->warm cycle of bench_fig11 through
+#      an on-disk store::ResultCache — warm output must be byte-identical
+#      with a 100% hit rate, and an IMPACT_STORE_VERIFY=1 re-simulation
+#      audit must pass (docs/performance.md, "Experiment cache"),
+#   7. tools/bench.sh --smoke: fails on >20% items/sec regression against
 #      the committed BENCH_simulator.json baseline.
 #
 # Exits non-zero if any stage fails and prints a per-stage summary. Stages
@@ -195,17 +199,63 @@ EOF
 fi
 stage obs $rc
 
-# --- Stage 6: benchmark smoke (throughput regression gate) --------------
+# --- Stage 6: experiment store (content-addressed cache) ----------------
+# End-to-end acceptance of src/store/ against a real driver: bench_fig11
+# runs cold into a fresh on-disk cache, then warm from it. The warm run
+# must produce byte-identical stdout, miss nothing, and survive the
+# IMPACT_STORE_VERIFY=1 re-simulation audit (which aborts on divergence).
+# Uses the sanitizer build: cache probe/publish race from sweep workers,
+# so this doubles as a data-race check on the store's locking.
+if [ "${STATUS[sanitizer-build]}" = "PASS" ]; then
+  STORE_DIR="$(mktemp -d)"
+  STORE_OUT="$(mktemp -d)"
+  rc=0
+  IMPACT_STORE_DIR="${STORE_DIR}" "${BUILD_DIR}/bench/bench_fig11"       > "${STORE_OUT}/cold.txt" 2> "${STORE_OUT}/cold.err" || rc=1
+  if [ $rc -eq 0 ]; then
+    IMPACT_STORE_DIR="${STORE_DIR}" "${BUILD_DIR}/bench/bench_fig11"         > "${STORE_OUT}/warm.txt" 2> "${STORE_OUT}/warm.err" || rc=1
+  fi
+  if [ $rc -eq 0 ]       && ! cmp -s "${STORE_OUT}/cold.txt" "${STORE_OUT}/warm.txt"; then
+    echo "store: warm bench_fig11 output differs from cold" >&2
+    diff "${STORE_OUT}/cold.txt" "${STORE_OUT}/warm.txt" | head -20 >&2
+    rc=1
+  fi
+  if [ $rc -eq 0 ] && ! grep -q ", 0 misses," "${STORE_OUT}/warm.err"; then
+    echo "store: warm run was not fully cached:" >&2
+    grep "^store:" "${STORE_OUT}/warm.err" >&2
+    rc=1
+  fi
+  if [ $rc -eq 0 ]; then
+    # Paranoid audit: every hit re-simulated and byte-compared; any
+    # divergence aborts the binary (and fails this stage).
+    IMPACT_STORE_DIR="${STORE_DIR}" IMPACT_STORE_VERIFY=1         "${BUILD_DIR}/bench/bench_fig11"         > "${STORE_OUT}/verify.txt" 2> /dev/null || rc=1
+    if [ $rc -eq 0 ]         && ! cmp -s "${STORE_OUT}/cold.txt" "${STORE_OUT}/verify.txt"; then
+      echo "store: VERIFY re-simulation output differs from cold" >&2
+      rc=1
+    fi
+  fi
+  [ $rc -eq 0 ] && echo "store: cold/warm byte-identical, fully cached,"       "verify audit passed"
+  rm -rf "${STORE_DIR}" "${STORE_OUT}"
+  stage store $rc
+else
+  echo "store: skipped (sanitizer build failed)" >&2
+fi
+
+# --- Stage 7: benchmark smoke (throughput regression gate) --------------
 # Covers every microbench in BENCH_simulator.json; BM_AccessBatch and
 # BM_MultiprogReplay (the batch-kernel benches) are additionally required
 # to be present — bench.sh fails the gate when either goes missing.
-"${ROOT}/tools/bench.sh" --smoke "${ROOT}/build-bench"
+# This container only has the Debug system libbenchmark (no benchmark
+# source tree to build Release via IMPACT_BENCHMARK_SOURCE_DIR), so opt
+# in to smoking against the debug-library baseline; bench.sh still
+# refuses if the baseline and the current library flavor disagree.
+IMPACT_BENCH_ALLOW_DEBUG_LIBRARY=1   "${ROOT}/tools/bench.sh" --smoke "${ROOT}/build-bench"
 stage bench-smoke $?
 
 # --- Summary ------------------------------------------------------------
 echo
 echo "== check summary"
-for s in lint clang-tidy sanitizer-build ctest fault tsan-exec obs bench-smoke; do
+for s in lint clang-tidy sanitizer-build ctest fault tsan-exec obs store \
+         bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

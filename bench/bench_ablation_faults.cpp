@@ -15,11 +15,13 @@
 // configuration — including the fault profile — and replay from the
 // ResultCache when warm.
 #include <cstdio>
+#include <memory>
 
 #include "attacks/impact_pnm.hpp"
 #include "channel/coding.hpp"
 #include "channel/protocol.hpp"
 #include "fault/injector.hpp"
+#include "resil/journal.hpp"
 #include "store/cell_runner.hpp"
 #include "sys/noise.hpp"
 #include "sys/system.hpp"
@@ -54,6 +56,8 @@ int main() {
   store::ResultCache cache(store::ResultCache::options_from_env());
   store::WorkloadStore workloads;
   store::CellRunner runner(cache, workloads, &pool);
+  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
+  if (journal) runner.set_journal(journal.get());
 
   const auto result = runner.rows(
       "ablation.faults", scales.size(),

@@ -13,12 +13,14 @@
 // rows are collected in parameter order — output identical to the old
 // serial loops.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "attacks/impact_async.hpp"
 #include "attacks/impact_pnm.hpp"
 #include "attacks/impact_pum.hpp"
+#include "resil/journal.hpp"
 #include "store/cell_runner.hpp"
 #include "sys/system.hpp"
 #include "util/table.hpp"
@@ -39,6 +41,8 @@ int main() {
   store::ResultCache cache(store::ResultCache::options_from_env());
   store::WorkloadStore workloads;
   store::CellRunner runner(cache, workloads, &pool);
+  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
+  if (journal) runner.set_journal(journal.get());
 
   // Shared fingerprint base: the stock SystemConfig every point starts
   // from, plus the sweep's identity. Each sub-sweep adds its parameter

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "attacks/side_channel.hpp"
+#include "resil/journal.hpp"
 #include "store/cell_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -44,6 +45,8 @@ int main() {
   store::ResultCache cache(store::ResultCache::options_from_env());
   store::WorkloadStore workloads;
   store::CellRunner runner(cache, workloads, &pool);
+  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
+  if (journal) runner.set_journal(journal.get());
   const auto result = runner.rows(
       "fig10.banks", bank_counts.size(),
       [&](std::size_t i) {

@@ -14,12 +14,14 @@
 // back to the RunStats cells, which are identical.
 #include <cstdio>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/multiprog.hpp"
 #include "obs/scope.hpp"
 #include "obs/snapshot.hpp"
+#include "resil/journal.hpp"
 #include "store/cell_runner.hpp"
 #include "util/table.hpp"
 
@@ -41,6 +43,8 @@ int main() {
   store::ResultCache cache(store::ResultCache::options_from_env());
   store::WorkloadStore workload_store;
   store::CellRunner runner(cache, workload_store, &pool);
+  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
+  if (journal) runner.set_journal(journal.get());
   const store::CellRunner::MatrixResult grid =
       runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
   if (!grid.ok()) {

@@ -12,11 +12,13 @@
 // old serial loop either way.
 #include <cstdio>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "pim/pei.hpp"
+#include "resil/journal.hpp"
 #include "store/cell_runner.hpp"
 #include "sys/system.hpp"
 #include "util/table.hpp"
@@ -89,6 +91,8 @@ int main() {
   store::ResultCache cache(store::ResultCache::options_from_env());
   store::WorkloadStore workloads;
   store::CellRunner runner(cache, workloads, &pool);
+  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
+  if (journal) runner.set_journal(journal.get());
   const auto result = runner.rows(
       "table1.primitives", kCells,
       [&](std::size_t i) {

@@ -14,9 +14,11 @@
 //   $ IMPACT_STORE_DIR=/tmp/impact-store ./defense_tradeoffs  # twice
 #include <cstdio>
 #include <iterator>
+#include <memory>
 #include <vector>
 
 #include "graph/multiprog.hpp"
+#include "resil/journal.hpp"
 #include "store/cell_runner.hpp"
 #include "util/table.hpp"
 
@@ -32,6 +34,8 @@ int main() {
   store::ResultCache cache(store::ResultCache::options_from_env());
   store::WorkloadStore workloads;
   store::CellRunner runner(cache, workloads, &pool);
+  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
+  if (journal) runner.set_journal(journal.get());
   const auto grid =
       runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
   if (!grid.ok()) {

@@ -14,6 +14,7 @@
 // deterministically, so a parallel sweep reproduces the serial one.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -40,23 +41,73 @@ class TransientError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Retry behaviour for `Sweep::run_resilient`. Backoff doubles per retry
-/// from `backoff_base` up to `backoff_cap`; the defaults keep tests fast
-/// while still exercising the capped-exponential schedule.
+/// Retry behaviour for the guarded runs (`run_resilient` /
+/// `run_resumable`). Backoff doubles per retry from `backoff_base` up to
+/// `backoff_cap`; the defaults keep tests fast while still exercising the
+/// capped-exponential schedule.
+///
+/// Deadlines are host wall-clock budgets and never touch simulated time:
+/// they bound how long the engine is willing to wait for a cell, not what
+/// the cell computes, so a run that finishes within budget is bit-identical
+/// with deadlines on or off. A retry loop also respects them — a backoff
+/// sleep that would overshoot the cell's budget is not taken (the satellite
+/// fix for retry schedules that could exceed any wall-clock bound).
 struct RetryPolicy {
   std::size_t max_attempts = 3;  ///< Total tries per task (minimum 1).
   std::chrono::microseconds backoff_base{100};
   std::chrono::microseconds backoff_cap{100000};
   bool retry_all = false;  ///< Also retry non-TransientError exceptions.
+  /// Per-cell wall-clock budget, measured from the cell's first attempt.
+  /// An overdue cell is cancelled cooperatively by the watchdog and
+  /// recorded as CellError::kDeadline. Zero disables.
+  std::chrono::milliseconds cell_deadline{0};
+  /// Whole-run wall-clock budget, measured from run start. Once exceeded,
+  /// in-flight cells are cancelled and not-yet-started cells are refused
+  /// (all recorded as kDeadline); retired cells keep their results. Zero
+  /// disables.
+  std::chrono::milliseconds run_deadline{0};
 };
+
+/// Cooperative cancellation flag. The guarded runs hand one token to every
+/// cell; the watchdog sets it when the cell (or the whole run) goes over
+/// budget. Long-running cell functions should poll `current_cancel()` at
+/// loop boundaries and bail out with an exception once cancelled —
+/// cancellation is advisory, never preemptive, so a cell that ignores it
+/// simply runs to completion (and still wins if it succeeds).
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The cancellation token of the guarded-sweep cell currently executing on
+/// this thread, or nullptr outside one. Cells reach their token through
+/// this accessor so cell functions keep their plain `void()` signature.
+[[nodiscard]] CancelToken* current_cancel() noexcept;
 
 /// One failing (or skipped) cell of a resilient sweep run.
 struct CellError {
+  /// Why this cell has an error record. `kSkipped` mirrors the legacy
+  /// `skipped` flag; `kDeadline` and `kShedded` are failures the engine
+  /// imposed (over budget / shed by the admission gate) rather than
+  /// failures the cell produced.
+  enum Kind {
+    kFailed = 0,   ///< The cell ran and exhausted its attempts.
+    kSkipped,      ///< A dependency failed upstream; never attempted.
+    kDeadline,     ///< Cancelled over budget, or refused after run expiry.
+    kShedded,      ///< Shed by the admission gate; never attempted.
+  };
   std::size_t task = 0;
   std::string label;
   std::size_t attempts = 0;  ///< 0 when the task was never attempted.
   bool skipped = false;      ///< True: a dependency failed upstream.
   std::string message;       ///< what() of the final failure.
+  Kind kind = kFailed;
 };
 
 /// Outcome of `Sweep::run_resilient`: every cell is accounted for exactly
@@ -74,6 +125,14 @@ struct RunReport {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_stored = 0;
+  /// Resilience accounting (all zero for plain, journal-less, in-budget
+  /// runs — the common case stays bit-identical to the pre-resil engine).
+  /// `resumed` counts cache hits validated by a journal replay: cells a
+  /// previous interrupted run committed, satisfied without re-running.
+  /// `deadline_failed` and `shed` are subsets of `failed`.
+  std::size_t resumed = 0;
+  std::size_t deadline_failed = 0;
+  std::size_t shed = 0;
   std::vector<CellError> errors;  ///< Failed + skipped cells, by task id.
   /// Per-cell obs snapshots, indexed by TaskId — populated only when the
   /// sweep ran with `set_capture(true)` (empty otherwise, and empty per
@@ -107,6 +166,65 @@ struct RunReport {
 struct CacheHooks {
   std::function<bool()> probe;
   std::function<void(const obs::Snapshot&)> publish;
+};
+
+/// Durable run-lifecycle hooks for checkpoint/resume, kept abstract for
+/// the same layering reason as CacheHooks: exec stays below the resil and
+/// store layers, so the engine reports lifecycle facts and asks exactly
+/// one question — "did an earlier run of this journal already commit cell
+/// id?" — without knowing how records are persisted. resil::Journal is the
+/// durable (write-ahead log) implementation.
+///
+/// Resume semantics: `committed(id)` alone never satisfies a cell. The
+/// engine still requires the cell's cache probe to materialize the result
+/// (journal = proof of completion, cache = the bytes); a committed cell
+/// whose probe misses simply re-runs. This keeps a lost or truncated cache
+/// a performance event, never a correctness event.
+///
+/// Contract: no call may break a sweep. The engine wraps every call in
+/// try/catch; the first throw silences the journal for the rest of the run
+/// and execution degrades to plain `run_resilient` behaviour (worst case:
+/// completed work is re-done after a crash, never lost). Cell-level calls
+/// may arrive concurrently from pool workers — implementations must
+/// synchronize internally.
+class SweepJournal {
+ public:
+  virtual ~SweepJournal() = default;
+  /// Optional identity binding: callers that can fingerprint the whole
+  /// sweep (store::CellRunner's aggregate fingerprint) bind it before the
+  /// run so the journal can tell a resume of *this* sweep from a stale
+  /// file belonging to another one. The engine never calls this; the
+  /// default ignores it.
+  virtual void bind(std::uint64_t /*fp_hi*/, std::uint64_t /*fp_lo*/,
+                    std::size_t /*tasks*/) {}
+  /// A guarded run over `tasks` cells is starting.
+  virtual void begin_run(std::size_t tasks) = 0;
+  /// True when a previous run of this journal durably committed cell `id`.
+  [[nodiscard]] virtual bool committed(std::size_t id) const = 0;
+  /// Cell `id` is about to execute (intent record, for diagnostics).
+  virtual void cell_begin(std::size_t id, const std::string& label) = 0;
+  /// Cell `id` completed and its result was offered to the cache. Ordering
+  /// matters: the engine publishes to the cache first, then commits, so a
+  /// crash between the two degrades to a plain cache hit on resume.
+  virtual void cell_commit(std::size_t id) = 0;
+  /// Cell `id` exhausted its attempts; `message` is the final failure.
+  virtual void cell_fail(std::size_t id, const std::string& message) = 0;
+  /// Every cell retired; `report` is the final accounting.
+  virtual void end_run(const RunReport& report) = 0;
+};
+
+/// Load-shedding budgets for the guarded runs. Defaults are unlimited, in
+/// which case the gate is completely inert. When a budget is exceeded the
+/// engine sheds pending (ready, not yet started) cells lowest-priority
+/// first — a structured kShedded error per cell, dependents skipped —
+/// instead of aborting the whole process.
+struct AdmissionPolicy {
+  /// Maximum cells admitted at once (pending + in-flight). 0 = unlimited.
+  std::size_t max_pending = 0;
+  /// Budget over the sweep's own arenas (sum of bytes_allocated() across
+  /// workers). Arenas are monotonic for a sweep's lifetime, so once
+  /// tripped this sheds every cell not yet started. 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
 };
 
 class Sweep {
@@ -154,6 +272,27 @@ class Sweep {
   /// Never throws from task failures; returns the full accounting.
   RunReport run_resilient(const RetryPolicy& policy = {});
 
+  /// `run_resilient` with a durable checkpoint journal: cells committed by
+  /// a previous (interrupted) run of the same journal are satisfied from
+  /// their cache probe without re-running, and every fresh completion is
+  /// journaled so the *next* run can resume. An interrupted-then-resumed
+  /// run retires the same cells with the same results as an uninterrupted
+  /// one — bit-identical, serial or parallel.
+  RunReport run_resumable(SweepJournal& journal,
+                          const RetryPolicy& policy = {});
+
+  /// Admission gate for the guarded runs (see AdmissionPolicy). The
+  /// default (unlimited) leaves behaviour untouched.
+  void set_admission(const AdmissionPolicy& admission) {
+    admission_ = admission;
+  }
+
+  /// Shed order for the admission gate: higher priority is kept longer;
+  /// ties shed the youngest (highest) task id first. Default 0. Priority
+  /// also orders dispatch among simultaneously-ready cells, which cannot
+  /// change any result (cells are schedule-independent by construction).
+  void set_priority(TaskId id, std::int32_t priority);
+
   /// When enabled, `run_resilient` opens a fresh obs::Scope around every
   /// cell and stores the resulting Snapshot in RunReport::snapshots[id].
   /// Each cell writes only its own preallocated slot, so capture preserves
@@ -180,7 +319,13 @@ class Sweep {
     std::function<void()> fn;
     std::vector<TaskId> deps;
     CacheHooks hooks;  ///< Empty functions on tasks added via add().
+    std::int32_t priority = 0;  ///< Admission-gate shed/dispatch order.
   };
+
+  /// The shared engine behind run_resilient (journal == nullptr) and
+  /// run_resumable: one guarded scheduler covering serial and parallel
+  /// execution, journaling, deadlines + watchdog, and admission control.
+  RunReport run_guarded(SweepJournal* journal, const RetryPolicy& policy);
 
   ThreadPool* pool_;
   std::vector<Task> tasks_;
@@ -189,6 +334,7 @@ class Sweep {
   /// after construction.
   std::vector<std::unique_ptr<Arena>> arenas_;
   bool capture_ = false;
+  AdmissionPolicy admission_;
 };
 
 /// Maps i -> fn(i) for i in [0, n) into an index-ordered vector, using the

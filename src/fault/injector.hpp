@@ -128,6 +128,9 @@ class Injector {
   /// Profile named by IMPACT_FAULTS, or nullopt when unset/empty. Used by
   /// the fault-aware tests to layer extra perturbation onto their own
   /// scenarios (the tools/check.sh `fault` stage sets IMPACT_FAULTS=heavy).
+  /// Unlike profile(), an *unknown* name is recoverable here: operator
+  /// input must not abort a long sweep, so it warns on stderr and falls
+  /// back to faults-off (nullopt).
   [[nodiscard]] static std::optional<std::vector<FaultConfig>>
   profile_from_env();
 

@@ -1,0 +1,504 @@
+#include "resil/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+namespace impact::resil {
+
+namespace {
+
+// --- Codec primitives ---------------------------------------------------
+// Same byte-stable text idiom as the store::Record codec (whose primitives
+// are deliberately file-local there): decimal u64, length-prefixed
+// strings, strict readers where any deviation fails the parse.
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void put_hex64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const int n = std::snprintf(buf, sizeof(buf), "%016llx",
+                              static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.push_back(':');
+  out.append(s);
+}
+
+struct Reader {
+  std::string_view in;
+  bool ok = true;
+
+  bool literal(std::string_view expect) {
+    if (!ok || in.substr(0, expect.size()) != expect) return fail();
+    in.remove_prefix(expect.size());
+    return true;
+  }
+
+  std::uint64_t u64() {
+    if (!ok) return 0;
+    std::uint64_t v = 0;
+    std::size_t i = 0;
+    while (i < in.size() && in[i] >= '0' && in[i] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(in[i] - '0');
+      ++i;
+    }
+    if (i == 0) {
+      fail();
+      return 0;
+    }
+    in.remove_prefix(i);
+    return v;
+  }
+
+  std::uint64_t hex64() {
+    if (!ok) return 0;
+    if (in.size() < 16) {
+      fail();
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = in[static_cast<std::size_t>(i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a') + 10;
+      } else {
+        fail();
+        return 0;
+      }
+      v = (v << 4) | digit;
+    }
+    in.remove_prefix(16);
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!literal(":") || in.size() < n) {
+      fail();
+      return {};
+    }
+    std::string s(in.substr(0, n));
+    in.remove_prefix(n);
+    return s;
+  }
+
+  bool fail() {
+    ok = false;
+    return false;
+  }
+};
+
+// --- CRC-32 (IEEE, reflected) -------------------------------------------
+// Bitwise, table-free: journal entries are tens of bytes, throughput is
+// irrelevant next to the fsync that follows.
+
+std::uint32_t crc32(std::string_view bytes) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc ^= static_cast<unsigned char>(ch);
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+void put_crc_suffix(std::string& out, std::string_view body) {
+  char buf[12];
+  const int n = std::snprintf(buf, sizeof(buf), " #%08x\n",
+                              static_cast<unsigned>(crc32(body)));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+constexpr std::string_view kMagic = "impact-journal 1\n";
+
+/// One-entry slack against absurd ids from a corrupt-but-CRC-colliding
+/// record: a commit id must fit the bound run's task count (checked by
+/// the caller), and labels/messages are size-limited on the write side.
+constexpr std::size_t kMaxStringBytes = 1 << 16;
+
+[[noreturn]] void raise_errno(const char* what, const std::string& path) {
+  throw std::runtime_error(std::string("resil::Journal: ") + what + " " +
+                           path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Journal::Options Journal::options_from_env() {
+  Options options;
+  const char* path = std::getenv("IMPACT_JOURNAL");
+  if (path == nullptr || path[0] == '\0') {
+    options.enabled = false;
+    return options;
+  }
+  options.path = path;
+  return options;
+}
+
+std::unique_ptr<Journal> journal_from_env() {
+  Journal::Options options = Journal::options_from_env();
+  if (!options.enabled) return nullptr;
+  return std::make_unique<Journal>(std::move(options));
+}
+
+void Journal::open_and_recover_locked() {
+  if (recovered_ || !options_.enabled) return;
+  recovered_ = true;
+
+  fd_ = ::open(options_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) raise_errno("open", options_.path);
+  // Make the file's *existence* durable too: sync the parent directory
+  // once, so a commit record cannot outlive its own directory entry.
+  if (options_.fsync) {
+    std::string dir = options_.path;
+    const std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash);
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+      ++stats_.fsyncs;
+    }
+  }
+
+  // Slurp the file (journals are small: tens of bytes per cell).
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd_, buf, sizeof(buf));
+    if (got < 0) raise_errno("read", options_.path);
+    if (got == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(got));
+  }
+
+  if (bytes.empty()) {
+    reset_file_locked();
+    return;
+  }
+  if (bytes.size() < kMagic.size() ||
+      std::string_view(bytes).substr(0, kMagic.size()) != kMagic) {
+    // Not a journal (or a torn header): the file has no salvageable
+    // history. Start over.
+    stats_.truncated_bytes += bytes.size();
+    reset_file_locked();
+    return;
+  }
+
+  // Walk entries; `valid_end` trails the last fully-verified one. The
+  // first entry that fails to parse, fails its CRC, or is semantically
+  // impossible ends recovery — everything at and after it is dropped
+  // (a suffix of an unverifiable entry cannot be trusted either).
+  std::size_t valid_end = kMagic.size();
+  std::string_view rest = std::string_view(bytes).substr(kMagic.size());
+  while (!rest.empty()) {
+    Reader r{rest};
+    const std::size_t entry_bytes_before = r.in.size();
+    bool semantic_ok = true;
+    std::uint64_t run_fp_hi = 0;
+    std::uint64_t run_fp_lo = 0;
+    std::uint64_t run_tasks = 0;
+    std::uint64_t cell_id = 0;
+    enum { kRun, kBegin, kCommit, kFail, kEnd } type = kRun;
+    if (r.literal("run ")) {
+      type = kRun;
+      run_fp_hi = r.hex64();
+      r.literal(" ");
+      run_fp_lo = r.hex64();
+      r.literal(" ");
+      run_tasks = r.u64();
+    } else {
+      r = Reader{rest};
+      if (r.literal("commit ")) {
+        type = kCommit;
+        cell_id = r.u64();
+      } else {
+        r = Reader{rest};
+        if (r.literal("begin ")) {
+          type = kBegin;
+          cell_id = r.u64();
+          r.literal(" ");
+          (void)r.str();
+        } else {
+          r = Reader{rest};
+          if (r.literal("fail ")) {
+            type = kFail;
+            cell_id = r.u64();
+            r.literal(" ");
+            (void)r.str();
+          } else {
+            r = Reader{rest};
+            if (r.literal("end ")) {
+              type = kEnd;
+              (void)r.u64();
+              r.literal(" ");
+              (void)r.u64();
+              r.literal(" ");
+              (void)r.u64();
+              r.literal(" ");
+              (void)r.u64();
+            } else {
+              break;  // Unknown keyword: torn or foreign tail.
+            }
+          }
+        }
+      }
+    }
+    if (!r.ok) break;
+    const std::size_t body_len = entry_bytes_before - r.in.size();
+    const std::string_view body = rest.substr(0, body_len);
+    // CRC suffix: " #xxxxxxxx\n".
+    if (!r.literal(" #")) break;
+    if (r.in.size() < 9) break;
+    std::uint32_t stored_crc = 0;
+    {
+      bool hex_ok = true;
+      for (int i = 0; i < 8; ++i) {
+        const char c = r.in[static_cast<std::size_t>(i)];
+        std::uint32_t digit = 0;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<std::uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          digit = static_cast<std::uint32_t>(c - 'a') + 10;
+        } else {
+          hex_ok = false;
+          break;
+        }
+        stored_crc = (stored_crc << 4) | digit;
+      }
+      if (!hex_ok) break;
+    }
+    r.in.remove_prefix(8);
+    if (!r.literal("\n")) break;
+    if (stored_crc != crc32(body)) break;
+
+    // Entry verified — apply it.
+    switch (type) {
+      case kRun:
+        if (run_tasks > (1ull << 32)) {
+          semantic_ok = false;
+          break;
+        }
+        if (!have_run_record_ || run_fp_hi != rec_fp_hi_ ||
+            run_fp_lo != rec_fp_lo_ ||
+            static_cast<std::size_t>(run_tasks) != rec_tasks_) {
+          // A run record with a new identity owns everything after it.
+          committed_.assign(static_cast<std::size_t>(run_tasks), 0);
+        }
+        have_run_record_ = true;
+        rec_fp_hi_ = run_fp_hi;
+        rec_fp_lo_ = run_fp_lo;
+        rec_tasks_ = static_cast<std::size_t>(run_tasks);
+        break;
+      case kCommit:
+        if (!have_run_record_ || cell_id >= rec_tasks_) {
+          semantic_ok = false;
+          break;
+        }
+        if (committed_[static_cast<std::size_t>(cell_id)] == 0) {
+          committed_[static_cast<std::size_t>(cell_id)] = 1;
+          ++stats_.committed_recovered;
+        }
+        break;
+      case kBegin:
+      case kFail:
+        if (!have_run_record_ || cell_id >= rec_tasks_) semantic_ok = false;
+        break;
+      case kEnd:
+        if (!have_run_record_) semantic_ok = false;
+        break;
+    }
+    if (!semantic_ok) break;
+    ++stats_.entries_recovered;
+    const std::size_t consumed = rest.size() - r.in.size();
+    valid_end += consumed;
+    rest = r.in;
+  }
+
+  if (valid_end < bytes.size()) {
+    stats_.truncated_bytes += bytes.size() - valid_end;
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      raise_errno("ftruncate", options_.path);
+    }
+  }
+  end_offset_ = valid_end;
+}
+
+void Journal::reset_file_locked() {
+  if (::ftruncate(fd_, 0) != 0) raise_errno("ftruncate", options_.path);
+  have_run_record_ = false;
+  rec_fp_hi_ = 0;
+  rec_fp_lo_ = 0;
+  rec_tasks_ = 0;
+  committed_.clear();
+  stats_.committed_recovered = 0;
+  const ssize_t put =
+      ::pwrite(fd_, kMagic.data(), kMagic.size(), 0);
+  if (put != static_cast<ssize_t>(kMagic.size())) {
+    raise_errno("write", options_.path);
+  }
+  end_offset_ = kMagic.size();
+}
+
+void Journal::append_locked(const std::string& body, bool sync) {
+  std::string entry = body;
+  put_crc_suffix(entry, body);
+  const ssize_t put = ::pwrite(fd_, entry.data(), entry.size(),
+                               static_cast<off_t>(end_offset_));
+  if (put != static_cast<ssize_t>(entry.size())) {
+    raise_errno("write", options_.path);
+  }
+  end_offset_ += entry.size();
+  ++stats_.appends;
+  if (sync && options_.fsync) {
+    if (::fsync(fd_) != 0) raise_errno("fsync", options_.path);
+    ++stats_.fsyncs;
+  }
+}
+
+void Journal::bind(std::uint64_t fp_hi, std::uint64_t fp_lo,
+                   std::size_t tasks) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_and_recover_locked();
+  if (bound_ && fp_hi_ == fp_hi && fp_lo_ == fp_lo && tasks_ == tasks) {
+    return;  // Idempotent re-bind within one process.
+  }
+  const bool match = have_run_record_ && rec_fp_hi_ == fp_hi &&
+                     rec_fp_lo_ == fp_lo && rec_tasks_ == tasks;
+  if (!match) {
+    if (have_run_record_ || stats_.committed_recovered > 0) {
+      // The file holds a different sweep's history: resuming it would be
+      // silent corruption, so start over.
+      reset_file_locked();
+    }
+    committed_.assign(tasks, 0);
+  } else {
+    stats_.resumed = stats_.committed_recovered > 0;
+    if (stats_.resumed) {
+      std::fprintf(
+          stderr,
+          "resil: journal %s: resuming, %llu/%llu cells already "
+          "committed (%llu torn byte(s) dropped)\n",
+          options_.path.c_str(),
+          static_cast<unsigned long long>(stats_.committed_recovered),
+          static_cast<unsigned long long>(tasks),
+          static_cast<unsigned long long>(stats_.truncated_bytes));
+    }
+  }
+  bound_ = true;
+  fp_hi_ = fp_hi;
+  fp_lo_ = fp_lo;
+  tasks_ = tasks;
+  have_run_record_ = true;
+  rec_fp_hi_ = fp_hi;
+  rec_fp_lo_ = fp_lo;
+  rec_tasks_ = tasks;
+  std::string body = "run ";
+  put_hex64(body, fp_hi);
+  body.push_back(' ');
+  put_hex64(body, fp_lo);
+  body.push_back(' ');
+  put_u64(body, tasks);
+  append_locked(body, /*sync=*/true);
+}
+
+void Journal::begin_run(std::size_t tasks) {
+  if (!options_.enabled) return;
+  bool need_bind = false;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bound_ && tasks_ == tasks) return;
+    // Unbound (no aggregate fingerprint known) or a task-count mismatch:
+    // bind with the best identity available. A mismatch against existing
+    // history resets the file inside bind().
+    need_bind = true;
+    hi = bound_ ? fp_hi_ : 0;
+    lo = bound_ ? fp_lo_ : 0;
+    bound_ = false;
+  }
+  if (need_bind) bind(hi, lo, tasks);
+}
+
+bool Journal::committed(std::size_t id) const {
+  if (!options_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id < committed_.size() && committed_[id] != 0;
+}
+
+void Journal::cell_begin(std::size_t id, const std::string& label) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = "begin ";
+  put_u64(body, id);
+  body.push_back(' ');
+  put_str(body, std::string_view(label).substr(
+                    0, std::min(label.size(), kMaxStringBytes)));
+  append_locked(body, /*sync=*/false);
+}
+
+void Journal::cell_commit(std::size_t id) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = "commit ";
+  put_u64(body, id);
+  append_locked(body, /*sync=*/true);
+  if (id < committed_.size()) committed_[id] = 1;
+}
+
+void Journal::cell_fail(std::size_t id, const std::string& message) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = "fail ";
+  put_u64(body, id);
+  body.push_back(' ');
+  put_str(body, std::string_view(message).substr(
+                    0, std::min(message.size(), kMaxStringBytes)));
+  append_locked(body, /*sync=*/false);
+}
+
+void Journal::end_run(const exec::RunReport& report) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = "end ";
+  put_u64(body, report.completed);
+  body.push_back(' ');
+  put_u64(body, report.failed);
+  body.push_back(' ');
+  put_u64(body, report.skipped);
+  body.push_back(' ');
+  put_u64(body, report.resumed);
+  append_locked(body, /*sync=*/true);
+}
+
+Journal::Stats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace impact::resil

@@ -1,0 +1,123 @@
+// Durable sweep journal: the crash-tolerance half of checkpoint/resume.
+//
+// resil::Journal is an append-only write-ahead log of sweep lifecycle
+// records — run-begin (with the sweep's aggregate fingerprint), per-cell
+// begin/commit/fail, run-end — in the same byte-stable text style as the
+// store::Record codec (length-prefixed strings, strict readers), with a
+// CRC-32 per entry and an fsync on every commit record. Recovery tolerates
+// a torn tail — the half-written entry of a process killed mid-append —
+// by truncating the file back to the last entry whose CRC verifies; a
+// corrupt entry likewise drops itself and everything after it (suffixes of
+// an unverifiable entry cannot be trusted either).
+//
+// Division of labour with the result cache: the journal proves a cell
+// *completed*; the store::ResultCache holds the cell's *bytes*. The sweep
+// engine (exec::Sweep::run_resumable) treats `committed(id)` as permission
+// to trust the cell's cache probe as a resume — the probe still has to
+// materialize the result, so losing the cache (or the journal) costs
+// re-execution, never correctness. This is why commit records are written
+// *after* the cache publish: a crash between the two degrades to a plain
+// cache hit on the next run.
+//
+// A journal file serves exactly one sweep identity (aggregate fingerprint
+// + task count, bound via bind()). Binding a different identity resets the
+// file — resuming someone else's journal would be silent corruption.
+//
+// Layering: resil sits above exec and store; the engine reaches the
+// journal only through the exec::SweepJournal interface (the same
+// inversion CacheHooks uses for the cache).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+
+namespace impact::resil {
+
+class Journal final : public exec::SweepJournal {
+ public:
+  struct Options {
+    std::string path;     ///< Journal file; created on first use.
+    bool enabled = true;  ///< false: every operation is a no-op.
+    /// fsync commit/run/end records (begin/fail records are advisory and
+    /// never synced). Disable only in tests that don't measure durability.
+    bool fsync = true;
+  };
+
+  /// Recovery and append accounting, mostly for tests and the stderr
+  /// resume summary.
+  struct Stats {
+    std::uint64_t entries_recovered = 0;  ///< Valid entries found at open.
+    std::uint64_t committed_recovered = 0;  ///< Distinct committed cells.
+    std::uint64_t truncated_bytes = 0;  ///< Torn/corrupt tail dropped.
+    std::uint64_t appends = 0;
+    std::uint64_t fsyncs = 0;
+    bool resumed = false;  ///< bind() matched existing history.
+  };
+
+  explicit Journal(Options options) : options_(std::move(options)) {}
+  ~Journal() override;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Binds the journal to a sweep identity before the run starts:
+  /// `fp_hi`/`fp_lo` is the sweep's aggregate fingerprint and `tasks` its
+  /// cell count. Matching recovered history makes this a resume (committed
+  /// cells replay); any mismatch resets the file — the path belonged to a
+  /// different sweep. Opens and recovers the file on first use; throws on
+  /// I/O errors (the engine degrades to journal-less execution).
+  void bind(std::uint64_t fp_hi, std::uint64_t fp_lo,
+            std::size_t tasks) override;
+
+  // exec::SweepJournal --------------------------------------------------
+  void begin_run(std::size_t tasks) override;
+  [[nodiscard]] bool committed(std::size_t id) const override;
+  void cell_begin(std::size_t id, const std::string& label) override;
+  void cell_commit(std::size_t id) override;
+  void cell_fail(std::size_t id, const std::string& message) override;
+  void end_run(const exec::RunReport& report) override;
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& path() const { return options_.path; }
+
+  /// IMPACT_JOURNAL=<path> enables a durable journal at <path>; unset or
+  /// empty disables (Options{.enabled = false}).
+  static Options options_from_env();
+
+ private:
+  void open_and_recover_locked();
+  void reset_file_locked();
+  void append_locked(const std::string& body, bool sync);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t end_offset_ = 0;  ///< Append position (post-recovery).
+
+  // Bound identity (what the current sweep claims to be).
+  bool bound_ = false;
+  std::uint64_t fp_hi_ = 0;
+  std::uint64_t fp_lo_ = 0;
+  std::size_t tasks_ = 0;
+
+  // Recovered identity (what the file's last run record claims).
+  bool recovered_ = false;       ///< open_and_recover ran.
+  bool have_run_record_ = false;
+  std::uint64_t rec_fp_hi_ = 0;
+  std::uint64_t rec_fp_lo_ = 0;
+  std::size_t rec_tasks_ = 0;
+  std::vector<unsigned char> committed_;
+
+  Stats stats_;
+};
+
+/// Builds a Journal from IMPACT_JOURNAL, or nullptr when journaling is
+/// off — drivers wire the result into store::CellRunner::set_journal.
+[[nodiscard]] std::unique_ptr<Journal> journal_from_env();
+
+}  // namespace impact::resil

@@ -1,5 +1,8 @@
 #include "store/result_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -111,29 +114,56 @@ std::optional<std::string> ResultCache::disk_read(
 }
 
 void ResultCache::disk_write(const Fingerprint& fp,
-                             const std::string& bytes) const {
-  // Temp file + rename: readers never observe a partial record. Equal
-  // fingerprints imply equal bytes, so concurrent writers racing on the
-  // same temp name are harmless.
+                             const std::string& bytes) {
+  // Temp file + fsync + rename + directory fsync: readers never observe a
+  // partial record, and once this returns the record survives power loss
+  // — the rename is only durable after its directory entry is synced, and
+  // the data only after the file itself is. (The old tmp+rename-without-
+  // fsync version could lose a "committed" record entirely: the rename
+  // could land while the data pages never did.) Equal fingerprints imply
+  // equal bytes, so concurrent writers racing on the same temp name are
+  // harmless.
   const std::string final_path = disk_path(fp);
   const std::string tmp_path = final_path + ".tmp";
   {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
       std::fprintf(stderr, "store: cannot write '%s'\n", tmp_path.c_str());
       return;
     }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out.good()) {
-      std::fprintf(stderr, "store: short write to '%s'\n", tmp_path.c_str());
+    std::size_t put = 0;
+    while (put < bytes.size()) {
+      const ssize_t got =
+          ::write(fd, bytes.data() + put, bytes.size() - put);
+      if (got <= 0) {
+        std::fprintf(stderr, "store: short write to '%s'\n",
+                     tmp_path.c_str());
+        ::close(fd);
+        return;
+      }
+      put += static_cast<std::size_t>(got);
+    }
+    if (::fsync(fd) != 0) {
+      std::fprintf(stderr, "store: cannot fsync '%s'\n", tmp_path.c_str());
+      ::close(fd);
       return;
     }
+    ++stats_.fsyncs;
+    ::close(fd);
   }
   std::error_code ec;
   std::filesystem::rename(tmp_path, final_path, ec);
   if (ec) {
     std::fprintf(stderr, "store: cannot rename '%s' -> '%s' (%s)\n",
                  tmp_path.c_str(), final_path.c_str(), ec.message().c_str());
+    return;
+  }
+  const int dirfd =
+      ::open(options_.disk_dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    if (::fsync(dirfd) == 0) ++stats_.fsyncs;
+    ::close(dirfd);
   }
 }
 

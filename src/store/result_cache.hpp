@@ -19,8 +19,11 @@
 //     disk writes reuse the same canonical bytes.
 //   - on-disk (optional): a directory of `<fingerprint-hex>.rec` files.
 //     Misses fall through to disk; disk hits are pulled into memory.
-//     Writes go through a temp file + rename so a crashed run never
-//     leaves a truncated record behind (parse() would reject one anyway).
+//     Writes go through a temp file + fsync + rename + directory fsync so
+//     a crashed run never leaves a truncated record behind (parse() would
+//     reject one anyway) and a committed record survives power loss — the
+//     resil journal counts on this: its commit records promise the cache
+//     still holds the bytes after any crash.
 //
 // Environment:
 //   IMPACT_STORE=0        disable the cache entirely (every probe misses,
@@ -59,6 +62,7 @@ class ResultCache {
     std::uint64_t stored = 0;
     std::uint64_t disk_hits = 0;    ///< Subset of hits served from disk.
     std::uint64_t rejected = 0;     ///< Malformed records treated as misses.
+    std::uint64_t fsyncs = 0;       ///< File + directory syncs on disk writes.
   };
 
   ResultCache() = default;
@@ -93,7 +97,7 @@ class ResultCache {
   [[nodiscard]] std::string disk_path(const Fingerprint& fp) const;
   [[nodiscard]] std::optional<std::string> disk_read(
       const Fingerprint& fp) const;
-  void disk_write(const Fingerprint& fp, const std::string& bytes) const;
+  void disk_write(const Fingerprint& fp, const std::string& bytes);
 
   Options options_;
   mutable std::mutex mu_;

@@ -1,0 +1,17 @@
+// Allowlisted file: the pool's worker loop is the one sanctioned
+// indefinite block (shutdown sets the stop flag under the same mutex), so
+// its bare wait/join calls must produce no findings.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+void worker_loop(std::condition_variable& cv, std::mutex& mu, bool& stop,
+                 std::thread& worker) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return stop; });
+  worker.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Seeded unbounded-wait violations: a bare cv.wait and a thread join;
+// the bounded (wait_for) and suppressed forms below must stay clean.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+void blocks_forever(std::condition_variable& cv, std::mutex& mu,
+                    bool& done, std::thread& worker) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  worker.join();
+}
+
+void bounded_wait(std::condition_variable& cv, std::mutex& mu, bool& done) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::milliseconds(5), [&] { return done; });
+}
+
+void justified(std::thread& worker) {
+  // SIMLINT-ALLOW(unbounded-wait): the worker exits with the test body.
+  worker.join();
+}
+
+}  // namespace fixture

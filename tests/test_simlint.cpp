@@ -99,6 +99,20 @@ TEST(SimlintConcurrency, ThreadLocalAllowedOnlyInObs) {
   EXPECT_TRUE(in_file("obs/tls_ok.cpp").empty());
 }
 
+TEST(SimlintConcurrency, UnboundedWaitFlaggedAtBareWaitAndJoin) {
+  const std::string f = "exec/waits.cpp";
+  EXPECT_TRUE(has(simlint::kRuleUnboundedWait, f, 13));
+  EXPECT_TRUE(has(simlint::kRuleUnboundedWait, f, 14));
+  // wait_for is a different identifier and the SIMLINT-ALLOW'd join is
+  // suppressed: exactly the two seeded findings remain.
+  EXPECT_EQ(in_file(f).size(), 2u);
+}
+
+TEST(SimlintConcurrency, ThreadPoolWorkerLoopIsAllowlisted) {
+  // The pool's own worker loop is the one sanctioned indefinite block.
+  EXPECT_TRUE(in_file("exec/thread_pool.cpp").empty());
+}
+
 TEST(SimlintSeams, UnguardedObserverDerefFlagged) {
   EXPECT_TRUE(has(simlint::kRuleSeamUnguarded, "dram/seam.cpp", 15));
   // The two guarded forms (explicit nullptr compare, early-return on

@@ -20,6 +20,10 @@
 #      an on-disk store::ResultCache — warm output must be byte-identical
 #      with a 100% hit rate, and an IMPACT_STORE_VERIFY=1 re-simulation
 #      audit must pass (docs/performance.md, "Experiment cache"),
+#   6b. crash/resume: bench_fig11 is SIGKILLed mid-grid with an on-disk
+#      store + IMPACT_JOURNAL, then re-invoked; the resumed run must be
+#      byte-identical to an uninterrupted reference (docs/robustness.md,
+#      "Checkpoint/resume"),
 #   7. tools/bench.sh --smoke: fails on >20% items/sec regression against
 #      the committed BENCH_simulator.json baseline.
 #
@@ -240,6 +244,58 @@ else
   echo "store: skipped (sanitizer build failed)" >&2
 fi
 
+# --- Stage 6b: crash/resume (journal-backed checkpointing) --------------
+# End-to-end acceptance of src/resil/ against a real driver: bench_fig11
+# starts cold into a fresh on-disk store + journal and is SIGKILLed
+# mid-grid; a second invocation with the same env must resume from the
+# journal and finish, with stdout byte-identical to an uninterrupted
+# reference run. When the kill lands after the grid already finished the
+# resume degrades to a warm cache run — still byte-identical, so the
+# comparison is stable either way. IMPACT_THREADS is pinned: the printed
+# header includes the worker count.
+if [ "${STATUS[sanitizer-build]}" = "PASS" ]; then
+  RESUME_TMP="$(mktemp -d)"
+  rc=0
+  IMPACT_THREADS=2 IMPACT_STORE_DIR="${RESUME_TMP}/ref-store" \
+    IMPACT_JOURNAL="${RESUME_TMP}/ref.journal" \
+    "${BUILD_DIR}/bench/bench_fig11" \
+    > "${RESUME_TMP}/ref.txt" 2> /dev/null || rc=1
+  if [ $rc -eq 0 ]; then
+    IMPACT_THREADS=2 IMPACT_STORE_DIR="${RESUME_TMP}/store" \
+      IMPACT_JOURNAL="${RESUME_TMP}/run.journal" \
+      "${BUILD_DIR}/bench/bench_fig11" \
+      > "${RESUME_TMP}/killed.txt" 2> /dev/null &
+    RESUME_PID=$!
+    sleep 3
+    kill -9 "${RESUME_PID}" 2> /dev/null
+    wait "${RESUME_PID}" 2> /dev/null
+    IMPACT_THREADS=2 IMPACT_STORE_DIR="${RESUME_TMP}/store" \
+      IMPACT_JOURNAL="${RESUME_TMP}/run.journal" \
+      "${BUILD_DIR}/bench/bench_fig11" \
+      > "${RESUME_TMP}/resumed.txt" 2> "${RESUME_TMP}/resumed.err" || rc=1
+  fi
+  if [ $rc -eq 0 ] \
+      && ! cmp -s "${RESUME_TMP}/ref.txt" "${RESUME_TMP}/resumed.txt"; then
+    echo "resume: resumed bench_fig11 stdout differs from uninterrupted" >&2
+    diff "${RESUME_TMP}/ref.txt" "${RESUME_TMP}/resumed.txt" | head -20 >&2
+    rc=1
+  fi
+  if [ $rc -eq 0 ]; then
+    if grep -q "resil: journal" "${RESUME_TMP}/resumed.err"; then
+      echo "resume: $(grep "resil: journal" "${RESUME_TMP}/resumed.err" \
+        | head -1)"
+    else
+      echo "resume: kill landed after completion (warm-run degradation)"
+    fi
+    echo "resume: killed/resumed bench_fig11 byte-identical to" \
+      "uninterrupted reference"
+  fi
+  rm -rf "${RESUME_TMP}"
+  stage resume $rc
+else
+  echo "resume: skipped (sanitizer build failed)" >&2
+fi
+
 # --- Stage 7: benchmark smoke (throughput regression gate) --------------
 # Covers every microbench in BENCH_simulator.json; BM_AccessBatch and
 # BM_MultiprogReplay (the batch-kernel benches) are additionally required
@@ -255,7 +311,7 @@ stage bench-smoke $?
 echo
 echo "== check summary"
 for s in lint clang-tidy sanitizer-build ctest fault tsan-exec obs store \
-         bench-smoke; do
+         resume bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

@@ -65,7 +65,7 @@ const std::map<std::string, int>& layer_ranks() {
       {"util", 0},  {"model", 1},   {"dram", 2},     {"cache", 3},
       {"sys", 3},   {"pim", 4},     {"channel", 5},  {"attacks", 6},
       {"defense", 6}, {"genomics", 6}, {"graph", 7},  {"exec", 8},
-      {"store", 9},
+      {"store", 9},  {"resil", 10},
   };
   return kRanks;
 }
@@ -522,6 +522,11 @@ void run_token_rules(Emitter& em, const FileScan& f) {
   const std::vector<Tok>& toks = f.toks;
   ScopeWalker walker;
   const bool tls_allowed = f.layer == "obs";
+  // The one place a host thread may legitimately block forever: the pool's
+  // own worker loop (its shutdown path sets stop_ under the same mutex).
+  // Everywhere else a wait must carry a deadline, or the crash-tolerance
+  // story (per-cell budgets, the sweep watchdog) has a hole it cannot see.
+  const bool wait_allowlisted = f.rel == "exec/thread_pool.cpp";
 
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Tok& t = toks[i];
@@ -655,6 +660,19 @@ void run_token_rules(Emitter& em, const FileScan& f) {
           }
         }
       }
+    }
+
+    // --- Concurrency: host-side blocking must be bounded. ----------------
+    // `x.wait(...)` / `t.join()` can stall a sweep forever on one wedged
+    // cell. wait_for/wait_until are separate identifiers and pass freely;
+    // a genuinely-bounded bare wait/join documents its bound with
+    // SIMLINT-ALLOW(unbounded-wait) at the call site.
+    if ((t.text == "wait" || t.text == "join") && qualified_member && called &&
+        !wait_allowlisted) {
+      em.emit(kRuleUnboundedWait, t.line,
+              "'." + t.text + "(' blocks without a deadline — use a timed "
+              "wait (wait_for/wait_until) or justify the bound with "
+              "SIMLINT-ALLOW(unbounded-wait)");
     }
 
     // --- Concurrency: thread_local allowlist. ----------------------------

@@ -41,6 +41,7 @@ inline constexpr const char* kRuleNondetSeed = "nondet-seed";
 inline constexpr const char* kRuleGlobalState = "global-state";
 inline constexpr const char* kRuleThreadLocal = "thread-local";
 inline constexpr const char* kRuleSeamUnguarded = "seam-unguarded";
+inline constexpr const char* kRuleUnboundedWait = "unbounded-wait";
 inline constexpr const char* kRuleHotString = "hot-string";
 inline constexpr const char* kRuleHotEndl = "hot-endl";
 inline constexpr const char* kRuleHotResolve = "hot-resolve";

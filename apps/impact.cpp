@@ -1,0 +1,11 @@
+// The `impact` multiplexer: every experiment in the lab::Registry behind
+// one binary.
+//
+//   $ impact list [--json] [--filter S]
+//   $ impact describe <name>
+//   $ impact run <name> [--smoke] [--param k=v] ...
+#include "lab/driver.hpp"
+
+int main(int argc, char** argv) {
+  return impact::lab::impact_main(argc, argv);
+}

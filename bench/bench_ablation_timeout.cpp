@@ -1,90 +1,9 @@
-// Ablation: the open-row idle timeout vs the covert channel.
-//
-// Table 2 lists a 100 ns "row timeout". Under the common scheduler
-// semantics (the timeout closes a row early only to serve waiting
-// requests; an idle bank keeps its row open) the attacks work exactly as
-// the paper reports — that is our default. This ablation enables the
-// strict *idle-precharge* interpretation at several timeout values and
-// shows that the row-buffer covert channel collapses once the timeout is
-// shorter than the sender->probe gap: an aggressive idle precharge is
-// itself a (costly) defense the paper does not evaluate.
-#include <cstdio>
+// Thin shim: the ablation_timeout experiment lives in src/lab/experiments/ablation_timeout.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run ablation_timeout`.
+#include "lab/driver.hpp"
 
-#include "attacks/impact_pnm.hpp"
-#include "graph/multiprog.hpp"
-#include "sys/system.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace impact;
-  std::printf("=== bench_ablation_timeout: idle-precharge row timeout vs "
-              "IMPACT-PnM ===\n\n");
-
-  util::Table table({"timeout mode", "timeout (ns)", "throughput (Mb/s)",
-                     "error rate"});
-
-  auto run = [&](dram::RowTimeoutMode mode, double ns) {
-    sys::SystemConfig config;
-    config.dram.timing.timeout_mode = mode;
-    config.dram.timing.row_timeout_ns = ns;
-    sys::MemorySystem system(config);
-    attacks::ImpactPnm attack(system);
-    const auto report = attack.measure(64, 10, 33);
-    const char* mode_name = mode == dram::RowTimeoutMode::kContention
-                                ? "contention (default)"
-                                : "idle-precharge";
-    table.add_row({mode_name, util::Table::num(ns, 0),
-                   util::Table::num(report.throughput_mbps(
-                       config.frequency())),
-                   util::Table::num(100.0 * report.error_rate(), 1) + "%"});
-  };
-
-  run(dram::RowTimeoutMode::kContention, 100);
-  for (const double ns : {2000.0, 1000.0, 500.0, 200.0, 100.0, 50.0}) {
-    run(dram::RowTimeoutMode::kIdlePrecharge, ns);
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("With strict idle precharge at the Table 2 value (100 ns) the\n"
-              "sender's interference evaporates before the receiver can\n"
-              "probe and the error rate approaches chance — evidence that\n"
-              "the paper's working attacks imply the contention-triggered\n"
-              "timeout semantics modeled by our default.\n\n");
-
-  // The price of that accidental defense: idle-precharge timeouts cost
-  // performance like a milder CRP. Same Fig. 11 methodology, smaller
-  // input for speed.
-  std::printf("--- performance cost of idle-precharge timeouts (BFS + PR, "
-              "Fig. 11 setup) ---\n");
-  util::Table cost({"timeout (ns)", "BFS overhead", "PR overhead"});
-  graph::MultiprogConfig base;
-  base.rmat_scale = 13;
-  base.edge_count = 1u << 16;
-  const auto bfs_open = graph::run_multiprogrammed(
-      base, graph::WorkloadKind::kBFS, dram::RowPolicy::kOpenRow);
-  const auto pr_open = graph::run_multiprogrammed(
-      base, graph::WorkloadKind::kPR, dram::RowPolicy::kOpenRow);
-  for (const double ns : {1000.0, 200.0, 100.0}) {
-    graph::MultiprogConfig config = base;
-    config.system.dram.timing.timeout_mode =
-        dram::RowTimeoutMode::kIdlePrecharge;
-    config.system.dram.timing.row_timeout_ns = ns;
-    const auto bfs = graph::run_multiprogrammed(
-        config, graph::WorkloadKind::kBFS, dram::RowPolicy::kOpenRow);
-    const auto pr = graph::run_multiprogrammed(
-        config, graph::WorkloadKind::kPR, dram::RowPolicy::kOpenRow);
-    cost.add_row(
-        {util::Table::num(ns, 0),
-         util::Table::num(100.0 * (static_cast<double>(bfs.cycles) /
-                                       bfs_open.cycles -
-                                   1.0),
-                          1) +
-             "%",
-         util::Table::num(100.0 * (static_cast<double>(pr.cycles) /
-                                       pr_open.cycles -
-                                   1.0),
-                          1) +
-             "%"});
-  }
-  std::printf("%s\n", cost.render().c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return impact::lab::run_named("ablation_timeout", argc, argv);
 }

@@ -1,68 +1,9 @@
-// The §4.3/§5.4 payoff, end to end: from timed PEI probes to inferred
-// genome loci (the architectural half of the cited "completion attack").
-//
-// The attacker segments its positive observations into per-read episodes,
-// expands each observed bank into its candidate hash-table buckets using
-// the shared seed table, and votes over reference regions; the true read
-// locus should surface among the top-k supported regions. More banks =
-// fewer buckets per bank = sharper votes — the §5.4 precision claim,
-// carried through to actual genome coordinates.
-#include <cstdio>
+// Thin shim: the completion_attack experiment lives in src/lab/experiments/completion_attack.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run completion_attack`.
+#include "lab/driver.hpp"
 
-#include "attacks/genome_inference.hpp"
-#include "attacks/side_channel.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace impact;
-  std::printf("=== bench_completion_attack: observations -> genome loci "
-              "===\n(victim without read-level pipelining; top-5 regions "
-              "per episode)\n\n");
-
-  util::Table table({"banks", "episodes", "top-5 hit rate",
-                     "candidates/episode", "reduction vs reference"});
-  for (const std::uint32_t banks : {1024u, 2048u, 4096u, 8192u}) {
-    attacks::SideChannelConfig config;
-    config.banks = banks;
-    config.reads = 48;
-    // A sporadic victim (reads arrive from the sequencer with gaps of a
-    // couple of sweep periods): each read's evidence lands within one or
-    // two sweeps, then the banks go quiet — the gap the attacker's
-    // episode segmentation keys on.
-    config.victim_alignment_compute = banks * 600ull;
-    attacks::ReadMappingSpy spy(config);
-    const auto run = spy.run();
-
-    attacks::GenomeInference inference(
-        spy.table(), spy.reference_bases(),
-        attacks::InferenceConfig{/*episode_gap=*/banks * 280ull,
-                                 /*bin_bases=*/256, /*top_k=*/5,
-                                 /*min_banks=*/3,
-                                 /*max_bucket_positions=*/24});
-    const auto report =
-        inference.evaluate(run.positives, run.episode_truths);
-
-    table.add_row(
-        {std::to_string(banks), std::to_string(report.scored),
-         util::Table::num(100.0 * report.topk_hit_rate(), 1) + "%",
-         util::Table::num(report.mean_candidate_positions, 0),
-         util::Table::num(
-             static_cast<double>(spy.reference_bases()) /
-                 std::max(1.0, report.mean_candidate_positions),
-             0) +
-             "x"});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf(
-      "The attack works end to end: the attacker recovers the true read\n"
-      "locus in its top-5 regions for 41-64%% of episodes while shrinking\n"
-      "the candidate space by >200x. A nuance the paper's §5.4 does not\n"
-      "reach: per-OBSERVATION precision does improve with bank count (2\n"
-      "candidate buckets at 8192 banks vs 16 at 1024), but per-EPISODE\n"
-      "inference degrades, because a sweep over more banks accumulates\n"
-      "more false-positive observations per episode (Fig. 10's error\n"
-      "trend), and each false bank injects decoy candidates into the\n"
-      "vote. The two effects pull in opposite directions; in this setup\n"
-      "the noise wins.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return impact::lab::run_named("completion_attack", argc, argv);
 }

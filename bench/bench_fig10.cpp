@@ -1,102 +1,9 @@
-// Fig. 10: side-channel attack on PiM-accelerated read mapping — leakage
-// throughput and error rate across DRAM bank counts (1024 - 8192).
-//
-// Reproduced shape: throughput falls and the error rate rises as the
-// attacker must sweep more banks (paper: 7.57 Mb/s, <5% error at 1024
-// banks -> 2.56 Mb/s, <15% at 8192), while each observation becomes more
-// precise (fewer hash-table entries per bank, §5.4).
-//
-// One cell per bank count, run through the store::CellRunner: a cell
-// renders both its table row and its CSV row (split on output), so a warm
-// run reproduces both byte-identically without simulating.
-#include <cstdio>
-#include <memory>
-#include <string>
-#include <vector>
+// Thin shim: the fig10 experiment lives in src/lab/experiments/fig10.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run fig10`.
+#include "lab/driver.hpp"
 
-#include "attacks/side_channel.hpp"
-#include "resil/journal.hpp"
-#include "store/cell_runner.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace impact;
-  std::printf("=== bench_fig10: read-mapping side channel vs bank count "
-              "===\n\n");
-
-  util::Table table({"banks", "probe throughput (Mb/s)", "error rate",
-                     "event capture (Mb/s)", "capture rate",
-                     "buckets/hit", "bits/observation"});
-
-  std::unique_ptr<util::CsvWriter> csv;
-  if (const auto dir = util::CsvWriter::results_dir_from_env()) {
-    csv = std::make_unique<util::CsvWriter>(
-        *dir, "fig10",
-        std::vector<std::string>{"banks", "probe_mbps", "error_rate",
-                                 "capture_mbps", "capture_rate",
-                                 "bits_per_observation"});
-  }
-
-  const std::vector<std::uint32_t> bank_counts = {1024, 2048, 4096, 8192};
-  constexpr std::size_t kTableCols = 7;  // Cells 0-6: table; 7-12: CSV.
-
-  exec::ThreadPool pool;
-  store::ResultCache cache(store::ResultCache::options_from_env());
-  store::WorkloadStore workloads;
-  store::CellRunner runner(cache, workloads, &pool);
-  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
-  if (journal) runner.set_journal(journal.get());
-  const auto result = runner.rows(
-      "fig10.banks", bank_counts.size(),
-      [&](std::size_t i) {
-        store::Canon c;
-        c.field("cell", "fig10.read_mapping");
-        c.field("banks", bank_counts[i]);
-        return c.fingerprint();
-      },
-      [&](std::size_t i) {
-        const std::uint32_t banks = bank_counts[i];
-        attacks::SideChannelConfig config;
-        config.banks = banks;
-        attacks::ReadMappingSpy spy(config);
-        const auto r = spy.run();
-        // Table columns first, CSV columns after — one flat row so the
-        // cache record carries both renderings.
-        return std::vector<std::string>{
-            std::to_string(banks),
-            util::Table::num(r.probes.throughput_mbps(2.6)),
-            util::Table::num(100.0 * r.probes.error_rate(), 2) + "%",
-            util::Table::num(r.capture_throughput_mbps(2.6)),
-            util::Table::num(100.0 * r.capture_rate(), 1) + "%",
-            std::to_string(r.precision.entries_per_bank),
-            util::Table::num(r.precision.bits_per_observation, 1),
-            std::to_string(banks),
-            util::Table::num(r.probes.throughput_mbps(2.6), 4),
-            util::Table::num(r.probes.error_rate(), 5),
-            util::Table::num(r.capture_throughput_mbps(2.6), 4),
-            util::Table::num(r.capture_rate(), 5),
-            util::Table::num(r.precision.bits_per_observation, 2)};
-      });
-  if (!result.ok()) {
-    std::printf("sweep failed: %s\n", result.report.summary().c_str());
-    return 1;
-  }
-  for (const auto& row : result.rows) {
-    table.add_row(
-        std::vector<std::string>(row.begin(), row.begin() + kTableCols));
-    if (csv) {
-      csv->add_row(
-          std::vector<std::string>(row.begin() + kTableCols, row.end()));
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf(
-      "Paper: 7.57 Mb/s @ <5%% error (1024 banks) degrading to 2.56 Mb/s @\n"
-      "<15%% error (8192 banks); precision per observation improves with\n"
-      "bank count. Probe-decision metrics reproduce the error trend; the\n"
-      "event-capture metric reproduces the throughput decline (the\n"
-      "attacker's sweep resolution collapses multiple victim accesses per\n"
-      "bank window into one observation).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return impact::lab::run_named("fig10", argc, argv);
 }

@@ -1,124 +1,9 @@
-// Fig. 11: performance overhead of the closed-row (CRP) and constant-time
-// (CTD) defenses versus the open-row baseline, on five multiprogrammed
-// graph workloads sharing their input graph (2-core system).
-//
-// Paper: CTD costs 26% on average, CRP 15%, with CRP cheap on the
-// workloads that do not benefit from the open-row policy.
-//
-// The grid runs through the content-addressed store::CellRunner: every
-// cell gets its own obs scope, is probed against the ResultCache before
-// simulating (a warm run is pure lookups — see bench_store), and the
-// table below is rebuilt from the per-cell snapshots (graph.* counters)
-// rather than the tasks' own RunStats — the spine's accounting is the
-// figure. With the spine compiled out (-DIMPACT_OBS=OFF) the table falls
-// back to the RunStats cells, which are identical.
-#include <cstdio>
-#include <iterator>
-#include <memory>
-#include <string>
-#include <vector>
+// Thin shim: the fig11 experiment lives in src/lab/experiments/fig11.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run fig11`.
+#include "lab/driver.hpp"
 
-#include "graph/multiprog.hpp"
-#include "obs/scope.hpp"
-#include "obs/snapshot.hpp"
-#include "resil/journal.hpp"
-#include "store/cell_runner.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace impact;
-  exec::ThreadPool pool;  // Sized by IMPACT_THREADS / hardware concurrency.
-  std::printf("=== bench_fig11: defense overheads (CRP / CTD vs open row) "
-              "===\n");
-  std::printf("2 cores, shared RMAT input, hierarchy+input scaled 256x, "
-              "%u worker thread(s)\n\n",
-              pool.size());
-
-  graph::MultiprogConfig config;
-  constexpr dram::RowPolicy kPolicies[] = {
-      dram::RowPolicy::kOpenRow, dram::RowPolicy::kClosedRow,
-      dram::RowPolicy::kConstantTime, dram::RowPolicy::kAdaptive};
-  const std::size_t workloads = std::size(graph::kAllWorkloads);
-
-  store::ResultCache cache(store::ResultCache::options_from_env());
-  store::WorkloadStore workload_store;
-  store::CellRunner runner(cache, workload_store, &pool);
-  const std::unique_ptr<resil::Journal> journal = resil::journal_from_env();
-  if (journal) runner.set_journal(journal.get());
-  const store::CellRunner::MatrixResult grid =
-      runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
-  if (!grid.ok()) {
-    std::printf("sweep failed: %s\n", grid.report.summary().c_str());
-    return 1;
-  }
-
-  // One row value: from the cell's snapshot when the spine is compiled in,
-  // from the cell's RunStats otherwise. Bit-identical either way — and
-  // bit-identical whether the cell simulated or came from the cache.
-  const auto cell_stats = [&](std::size_t w, std::size_t p) {
-    const store::CellRunner::MatrixCell& cell = grid.cells[w][p];
-    if (!obs::kCompiled) return cell.stats;
-    graph::RunStats r;
-    r.cycles = cell.snapshot.counter("graph.cycles");
-    r.instructions = cell.snapshot.counter("graph.instructions");
-    r.accesses = cell.snapshot.counter("graph.accesses");
-    r.llc_misses = cell.snapshot.counter("graph.llc_misses");
-    r.row_hit_rate = cell.snapshot.gauge("graph.row_hit_rate");
-    return r;
-  };
-
-  util::Table table({"workload", "MPKI", "row-hit rate", "open-row (cyc)",
-                     "CRP overhead", "CTD overhead",
-                     "adaptive overhead (ext.)"});
-  double crp_sum = 0.0;
-  double ctd_sum = 0.0;
-  double adp_sum = 0.0;
-  int n = 0;
-  obs::Snapshot totals;
-  for (std::size_t w = 0; w < workloads; ++w) {
-    const graph::RunStats open_row = cell_stats(w, 0);
-    const auto overhead = [&](std::size_t p) {
-      return static_cast<double>(cell_stats(w, p).cycles) /
-                 static_cast<double>(open_row.cycles) -
-             1.0;
-    };
-    crp_sum += overhead(1);
-    ctd_sum += overhead(2);
-    adp_sum += overhead(3);
-    ++n;
-    for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
-      totals.merge(grid.cells[w][p].snapshot);
-    }
-    table.add_row({to_string(graph::kAllWorkloads[w]),
-                   util::Table::num(open_row.mpki()),
-                   util::Table::num(open_row.row_hit_rate),
-                   util::Table::num(open_row.cycles, 0),
-                   util::Table::num(100.0 * overhead(1), 1) + "%",
-                   util::Table::num(100.0 * overhead(2), 1) + "%",
-                   util::Table::num(100.0 * overhead(3), 1) + "%"});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf(
-      "average: CRP %.1f%% (paper 15%%), CTD %.1f%% (paper 26%%), "
-      "adaptive %.1f%% (extension)\n"
-      "The adaptive open-page policy costs about as much as CRP on these\n"
-      "conflict-heavy workloads and pushes the naive covert channel to\n"
-      "near-chance error (test_defense AdaptivePolicy tests) — but unlike\n"
-      "CRP it keeps benign streaming hits, and unlike CRP its guarantee is\n"
-      "heuristic: an attacker who re-trains the predictor with hit bursts\n"
-      "can partially reopen the channel.\n",
-      100.0 * crp_sum / n, 100.0 * ctd_sum / n, 100.0 * adp_sum / n);
-  if (obs::kCompiled && !totals.empty()) {
-    std::printf("\ngrid totals (merged per-cell obs snapshots):\n%s",
-                totals.table("  ").c_str());
-  }
-  const store::ResultCache::Stats cs = cache.stats();
-  std::fprintf(stderr,
-               "store: %llu hits (%llu from disk), %llu misses, %llu "
-               "stored\n",
-               static_cast<unsigned long long>(cs.hits),
-               static_cast<unsigned long long>(cs.disk_hits),
-               static_cast<unsigned long long>(cs.misses),
-               static_cast<unsigned long long>(cs.stored));
-  return 0;
+int main(int argc, char** argv) {
+  return impact::lab::run_named("fig11", argc, argv);
 }

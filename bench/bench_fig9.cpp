@@ -1,59 +1,9 @@
-// Fig. 9: breakdown of a 16-bit transmission — cycles the sender spends
-// sending vs cycles the receiver spends reading, for IMPACT-PnM and
-// IMPACT-PuM.
-//
-// The reproduced shape: the PuM sender transmits the whole message with
-// ONE masked RowClone and is an order of magnitude (paper: 14x) faster
-// than the PnM sender's 16 sequential PEIs, yet end-to-end PuM is only
-// ~10% faster because the PnM sender/receiver pipeline already overlaps
-// most of the sender's latency.
-#include <cstdio>
+// Thin shim: the fig9 experiment lives in src/lab/experiments/fig9.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run fig9`.
+#include "lab/driver.hpp"
 
-#include "attacks/impact_pnm.hpp"
-#include "attacks/impact_pum.hpp"
-#include "sys/system.hpp"
-#include "util/bitvec.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace impact;
-  sys::SystemConfig config;
-  std::printf("=== bench_fig9: sender/receiver breakdown (16 bits) ===\n\n");
-
-  // All-ones stresses the sender maximally (every bit needs interference).
-  const auto message = util::BitVec::from_string("1111111111111111");
-
-  channel::ChannelReport pnm;
-  channel::ChannelReport pum;
-  {
-    sys::MemorySystem system(config);
-    attacks::ImpactPnm attack(system);
-    (void)attack.transmit(message);  // Warm + calibrated by first call.
-    pnm = attack.transmit(message).report;
-  }
-  {
-    sys::MemorySystem system(config);
-    attacks::ImpactPum attack(system);
-    (void)attack.transmit(message);
-    pum = attack.transmit(message).report;
-  }
-
-  util::Table table({"variant", "sender (cyc)", "receiver (cyc)",
-                     "elapsed (cyc)", "throughput (Mb/s)"});
-  for (const auto& [name, r] :
-       {std::pair{"IMPACT-PnM", pnm}, std::pair{"IMPACT-PuM", pum}}) {
-    table.add_row({name, util::Table::num(r.sender_cycles, 0),
-                   util::Table::num(r.receiver_cycles, 0),
-                   util::Table::num(r.elapsed_cycles, 0),
-                   util::Table::num(r.throughput_mbps(config.frequency()))});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("PuM sender speedup over PnM sender: %.1fx (paper: 14x)\n",
-              static_cast<double>(pnm.sender_cycles) /
-                  static_cast<double>(pum.sender_cycles));
-  std::printf("PuM end-to-end advantage: %.1f%% (paper: ~10%%)\n",
-              100.0 * (static_cast<double>(pnm.elapsed_cycles) /
-                           static_cast<double>(pum.elapsed_cycles) -
-                       1.0));
-  return 0;
+int main(int argc, char** argv) {
+  return impact::lab::run_named("fig9", argc, argv);
 }

@@ -1,61 +1,9 @@
-// Quantifying §6's qualitative MPR drawbacks: app-count limits, memory
-// underutilization from bank-granular allocation, and duplication of
-// shared data (an extension — the paper discusses but does not measure
-// these).
-#include <cstdio>
-#include <vector>
+// Thin shim: the mpr_utilization experiment lives in src/lab/experiments/mpr_utilization.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run mpr_utilization`.
+#include "lab/driver.hpp"
 
-#include "defense/mpr_model.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace impact;
-  std::printf("=== bench_mpr_utilization: the price of bank partitioning "
-              "===\n\n");
-
-  dram::DramConfig device;  // Table 2: 64 banks x 512 MiB.
-  std::printf("device: %u banks x %llu MiB per bank\n\n",
-              device.total_banks(),
-              static_cast<unsigned long long>(device.bank_bytes() >> 20));
-
-  util::Table table({"apps requested", "mean footprint", "admitted (MPR)",
-                     "utilization (MPR)", "duplication",
-                     "utilization (shared)"});
-
-  // Seed pinned: EXPERIMENTS.md records the 27-of-64 admission table from this stream.
-  // SIMLINT-ALLOW(nondet-seed): recorded outputs depend on this stream.
-  util::Xoshiro256 rng(71);
-  for (const std::uint32_t napps : {8u, 16u, 32u, 64u, 128u}) {
-    std::vector<defense::AppDemand> apps;
-    std::uint64_t footprint_sum = 0;
-    for (std::uint32_t i = 0; i < napps; ++i) {
-      defense::AppDemand app;
-      // Private footprints from 32 MiB to 1.5 GiB, plus a 256 MiB shared
-      // input (the Fig. 11 scenario: instances sharing one graph).
-      app.private_bytes = (32ull + rng.below(1504)) << 20;
-      app.shared_bytes = 256ull << 20;
-      footprint_sum += app.private_bytes + app.shared_bytes;
-      apps.push_back(app);
-    }
-    const auto mpr = defense::evaluate_mpr(device, apps);
-    const auto shared = defense::evaluate_unpartitioned(device, apps);
-    table.add_row(
-        {std::to_string(napps),
-         util::Table::num(static_cast<double>(footprint_sum / napps >> 20),
-                          0) +
-             " MiB",
-         std::to_string(mpr.apps_admitted) + "/" + std::to_string(napps),
-         util::Table::num(100.0 * mpr.utilization(), 1) + "%",
-         util::Table::num(
-             static_cast<double>(mpr.duplication_bytes >> 20), 0) +
-             " MiB",
-         util::Table::num(100.0 * shared.utilization(), 1) + "%"});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf(
-      "Bank-granular exclusive allocation rejects applications once banks\n"
-      "run out, strands capacity inside partially used banks, and forces\n"
-      "per-app copies of shared data — the three §6 drawbacks, measured.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return impact::lab::run_named("mpr_utilization", argc, argv);
 }

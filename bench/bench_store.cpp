@@ -1,156 +1,9 @@
-// Experiment-cache effectiveness on the Fig. 11 defense grid: the same
-// (workload x policy) matrix evaluated cold (every cell simulates) and
-// warm (every cell replays from the store::ResultCache), with the warm
-// results checked bit-for-bit against the cold reference — serially and
-// across thread pools.
-//
-//   $ ./bench_store            # full Fig. 11 scale
-//   $ ./bench_store --smoke    # reduced scale (CI-friendly)
-//   $ IMPACT_STORE_VERIFY=1 ./bench_store   # warm runs re-simulate + audit
-//
-// The cache here is deliberately in-memory and private to this process
-// (IMPACT_STORE_DIR is ignored): the benchmark times lookup-vs-simulate,
-// and a pre-warmed disk directory would corrupt the cold baseline. The
-// disk backend is exercised by tools/check.sh's store stage and
-// tests/test_store.cpp instead.
-//
-// Prints a human-readable summary to stderr and one JSON object to stdout
-// (consumed by tools/bench.sh when assembling BENCH_simulator.json).
-#include <chrono>
-#include <cstdio>
-#include <cstring>
-#include <iterator>
-#include <string>
-#include <vector>
-
-#include "graph/multiprog.hpp"
-#include "store/cell_runner.hpp"
-
-namespace {
-
-using namespace impact;
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-constexpr dram::RowPolicy kPolicies[] = {
-    dram::RowPolicy::kOpenRow, dram::RowPolicy::kClosedRow,
-    dram::RowPolicy::kConstantTime, dram::RowPolicy::kAdaptive};
-
-/// Canonical byte string of a whole grid result: every cell's record
-/// (fingerprint, typed payload, telemetry snapshot) serialized in grid
-/// order. Two grid evaluations are bit-identical iff these bytes match —
-/// this is the same byte-stability the verify mode leans on.
-std::string grid_bytes(const graph::MultiprogConfig& config,
-                       const store::CellRunner::MatrixResult& grid) {
-  std::string all;
-  for (std::size_t w = 0; w < std::size(graph::kAllWorkloads); ++w) {
-    for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
-      const store::Record rec{
-          store::matrix_cell_fingerprint(config, graph::kAllWorkloads[w],
-                                         kPolicies[p]),
-          "cell", store::encode(grid.cells[w][p].stats),
-          grid.cells[w][p].snapshot};
-      all += store::serialize(rec);
-    }
-  }
-  return all;
-}
-
-}  // namespace
+// Thin shim: the store experiment lives in src/lab/experiments/store.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run store`.
+#include "lab/driver.hpp"
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
-
-  graph::MultiprogConfig config;
-  if (smoke) {
-    // Same shape, 8x smaller input (and hierarchy, to stay in the
-    // conflict-bound regime) — seconds instead of tens of seconds.
-    config.rmat_scale = 12;
-    config.edge_count = 32768;
-    config.system.cache_scale = 512;
-  }
-
-  // Private in-memory cache (see header comment); verify still honours
-  // the environment so the paranoid mode can be smoke-tested.
-  store::ResultCache::Options options;
-  options.verify = store::ResultCache::options_from_env().verify;
-  store::ResultCache cache(options);
-  store::WorkloadStore workloads;
-
-  const std::size_t cells =
-      std::size(graph::kAllWorkloads) * std::size(kPolicies);
-  std::fprintf(stderr,
-               "bench_store: Fig. 11 matrix (%zu workloads x %zu policies = "
-               "%zu cells), %s scale%s\n",
-               std::size(graph::kAllWorkloads), std::size(kPolicies), cells,
-               smoke ? "smoke" : "full",
-               options.verify ? ", VERIFY mode (warm runs re-simulate)" : "");
-
-  // Phase 1: cold — every cell simulates, results are published.
-  store::CellRunner cold_runner(cache, workloads, nullptr);
-  const auto t_cold = std::chrono::steady_clock::now();
-  const auto cold =
-      cold_runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
-  const double cold_s = seconds_since(t_cold);
-  if (!cold.ok()) {
-    std::fprintf(stderr, "cold sweep failed: %s\n",
-                 cold.report.summary().c_str());
-    return 1;
-  }
-  const std::string reference = grid_bytes(config, cold);
-
-  // Phase 2: warm serial — the same grid again; with the store enabled
-  // and verify off, every cell is a lookup.
-  store::CellRunner warm_runner(cache, workloads, nullptr);
-  const auto t_warm = std::chrono::steady_clock::now();
-  const auto warm =
-      warm_runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
-  const double warm_s = seconds_since(t_warm);
-  bool identical = warm.ok() && grid_bytes(config, warm) == reference;
-  const std::size_t warm_hits = warm.report.cache_hits;
-
-  // Phase 3: warm parallel — cache probes and publishes race from worker
-  // threads; results must not care.
-  std::vector<double> pool_seconds;
-  for (const unsigned threads : {2u, 8u}) {
-    exec::ThreadPool pool(threads);
-    store::CellRunner pool_runner(cache, workloads, &pool);
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto result =
-        pool_runner.defense_matrix(config, graph::kAllWorkloads, kPolicies);
-    pool_seconds.push_back(seconds_since(t0));
-    identical =
-        identical && result.ok() && grid_bytes(config, result) == reference;
-  }
-
-  // Hits over all cache-aware tasks: the policy cells plus the per-workload
-  // input builds (a fully-warm grid probe-skips those too).
-  const double hit_rate = static_cast<double>(warm_hits) /
-                          static_cast<double>(warm.report.tasks);
-  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
-
-  std::fprintf(stderr,
-               "cold %.3fs  warm %.4fs (hit rate %.0f%%)  warm pool2 %.4fs  "
-               "warm pool8 %.4fs  speedup %.1fx  cells %s\n",
-               cold_s, warm_s, 100.0 * hit_rate, pool_seconds[0],
-               pool_seconds[1], speedup,
-               identical ? "bit-identical" : "MISMATCH");
-
-  std::printf(
-      "{\"bench\":\"store\",\"smoke\":%s,\"cells\":%zu,"
-      "\"cold_seconds\":%.4f,\"warm_seconds\":%.4f,"
-      "\"warm_pool2_seconds\":%.4f,\"warm_pool8_seconds\":%.4f,"
-      "\"speedup\":%.4f,\"hit_rate\":%.4f,"
-      "\"verify\":%s,\"cells_identical\":%s}\n",
-      smoke ? "true" : "false", cells, cold_s, warm_s, pool_seconds[0],
-      pool_seconds[1], speedup, hit_rate, options.verify ? "true" : "false",
-      identical ? "true" : "false");
-
-  return identical ? 0 : 1;
+  return impact::lab::run_named("store", argc, argv);
 }

@@ -1,19 +1,9 @@
-#include <cstdio>
-#include "attacks/registry.hpp"
-#include "model/cache_attack_model.hpp"
-int main() {
-  using namespace impact;
-  for (auto kind : attacks::kFig8Attacks) {
-    sys::SystemConfig cfg;
-    cfg.mapping = attacks::recommended_mapping(kind);
-    sys::MemorySystem system(cfg);
-    auto attack = attacks::make_attack(kind, system);
-    auto report = attack->measure(64, 8, 5);
-    std::printf("%-16s %7.2f Mb/s  err %.2f%%  cyc/bit %.0f\n",
-                attack->name().c_str(), report.throughput_mbps(cfg.frequency()),
-                100.0*report.error_rate(), report.cycles_per_bit());
-  }
-  model::ExtractedParams p;
-  std::printf("%-16s %7.2f Mb/s (analytical)\n", "Streamline", model::streamline_mbps(p, util::kDefaultFrequency));
-  return 0;
+// Thin shim: the covert_channel_comparison experiment lives in src/lab/experiments/covert_channel_comparison.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run covert_channel_comparison`.
+#include "lab/driver.hpp"
+
+int main(int argc, char** argv) {
+  return impact::lab::run_named("covert_channel_comparison", argc, argv);
 }

@@ -1,47 +1,9 @@
-// Side-channel demo: leak a victim's read-mapping access pattern through
-// PiM probes (§4.3).
-//
-//   $ ./genome_spy [banks]
-//
-// Runs a read-mapping victim on a PiM device with the given bank count
-// (default 1024) while an attacker sweeps the banks, and reports the
-// probe-decision accuracy, leakage throughput, and per-observation
-// precision of the leaked bucket information.
-#include <cstdio>
-#include <cstdlib>
-
-#include "attacks/side_channel.hpp"
+// Thin shim: the genome_spy experiment lives in src/lab/experiments/genome_spy.cpp
+// and is registered in the lab::Registry; this binary is kept for
+// compatibility (same name, same argv, same output as before the registry
+// refactor). Equivalent: `impact run genome_spy`.
+#include "lab/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace impact;
-
-  attacks::SideChannelConfig config;
-  if (argc > 1) config.banks = static_cast<std::uint32_t>(std::atoi(argv[1]));
-  config.reads = 32;
-
-  std::printf("PiM device: %u banks, shared seed table: %u buckets "
-              "(%u entries per bank)\n",
-              config.banks, config.table.buckets,
-              config.table.buckets / config.banks);
-
-  attacks::ReadMappingSpy spy(config);
-  const auto result = spy.run();
-
-  std::printf("victim mapping accuracy : %.1f%%\n",
-              100.0 * result.victim_accuracy);
-  std::printf("attacker threshold      : %.0f cycles\n", result.threshold);
-  std::printf("probe observations      : %zu (error %.2f%%)\n",
-              result.probes.observations,
-              100.0 * result.probes.error_rate());
-  std::printf("leak throughput         : %.2f Mb/s\n",
-              result.probes.throughput_mbps(2.6));
-  std::printf("victim seed events      : %zu (captured %.1f%%, "
-              "%.2f Mb/s event capture)\n",
-              result.victim_seed_events, 100.0 * result.capture_rate(),
-              result.capture_throughput_mbps(2.6));
-  std::printf("precision               : %u candidate buckets/hit "
-              "(%.1f bits/observation)\n",
-              result.precision.entries_per_bank,
-              result.precision.bits_per_observation);
-  return 0;
+  return impact::lab::run_named("genome_spy", argc, argv);
 }

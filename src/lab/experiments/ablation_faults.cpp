@@ -1,0 +1,165 @@
+// Ablation: recovery strategies under injected faults (the robustness
+// extension's headline table, docs/robustness.md).
+//
+// A scaled fault profile (DRAM jitter + refresh storms + dropped semaphore
+// posts) perturbs IMPACT-PnM on top of a fixed Poisson background load.
+// Three attacker strategies compete:
+//   * coded only   — Hamming(7,4), no feedback: residual errors survive,
+//   * framed only  — CRC-8 frames + ACK/NACK retransmission: zero residual
+//                    at the cost of retransmissions,
+//   * framed+coded — the inner code absorbs isolated flips so the framed
+//                    layer retries less often.
+//
+// Each fault scale is one independent cell (its own system, injector, and
+// RNG), run through the store::CellRunner: cells fingerprint their full
+// configuration — including the fault profile — and replay from the
+// ResultCache when warm.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attacks/impact_pnm.hpp"
+#include "channel/coding.hpp"
+#include "channel/protocol.hpp"
+#include "fault/injector.hpp"
+#include "lab/context.hpp"
+#include "lab/experiments.hpp"
+#include "sys/noise.hpp"
+#include "sys/system.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace impact::lab {
+namespace {
+
+std::vector<fault::FaultConfig> fault_profile(double scale) {
+  return {
+      {fault::FaultKind::kDramJitter, 0.01 * scale, 400, 0, ~0ull},
+      {fault::FaultKind::kRefreshStorm, 0.005 * scale, 0, 0, ~0ull},
+      {fault::FaultKind::kSemaphoreDrop, 0.05 * scale, 0, 0, ~0ull},
+  };
+}
+
+const std::vector<double>& fault_scales() {
+  static const std::vector<double> scales = {0.0, 0.5, 1.0, 2.0, 4.0};
+  return scales;
+}
+
+int run_ablation_faults(Context& ctx) {
+  std::printf("=== bench_ablation_faults: recovery strategies under "
+              "injected faults ===\n\n");
+
+  const std::vector<double>& scales = fault_scales();
+
+  store::CellRunner& runner = ctx.runner();
+  const auto result = runner.rows(
+      "ablation.faults", scales.size(),
+      [&](std::size_t i) {
+        sys::SystemConfig config;
+        store::Canon c;
+        c.field("cell", "ablation.faults");
+        c.object("system", store::canon_of(config));
+        c.field("scale", scales[i]);
+        c.field("noise_apk", 1.0);
+        c.object("faults", store::canon_of(std::span<const fault::FaultConfig>(
+                               fault_profile(scales[i]))));
+        c.field("injector_seed", std::uint64_t{90210});
+        c.field("message_seed", std::uint64_t{51});
+        c.field("message_bits", std::uint64_t{256});
+        return c.fingerprint();
+      },
+      [&](std::size_t i) {
+        const double scale = scales[i];
+        sys::SystemConfig config;
+        sys::MemorySystem system(config);
+        // Baseline perturbation: a fixed background load, so the fault
+        // scale is measured on top of realistic ambient traffic, not a
+        // silent box.
+        sys::NoiseConfig noise_config;
+        noise_config.accesses_per_kilocycle = 1.0;
+        sys::BackgroundNoise noise(noise_config, system, /*actor=*/42);
+        attacks::ImpactPnm attack(system);
+        attack.set_noise(&noise);
+        (void)attack.transmit(util::BitVec::alternating(16));  // Calibrate.
+
+        std::vector<fault::FaultConfig> faults = fault_profile(scale);
+        fault::Injector injector(90210, faults);
+        system.set_fault_injector(&injector);
+
+        // Seed pinned: stream shared with bench_ablation_noise;
+        // EXPERIMENTS.md records 4/13 residuals.
+        // SIMLINT-ALLOW(nondet-seed): recorded outputs depend on stream.
+        util::Xoshiro256 rng(51);
+        const auto message = util::BitVec::random(256, rng);
+
+        const auto coded = channel::transmit_coded(
+            attack, message, channel::CodeKind::kHamming74,
+            config.frequency());
+
+        channel::ProtocolConfig framed_config;
+        framed_config.payload_bits = 16;
+        framed_config.max_retries = 16;
+        channel::FramedProtocol framed(attack, framed_config);
+        const auto framed_r = framed.send(message);
+
+        channel::ProtocolConfig both_config = framed_config;
+        both_config.code = channel::CodeKind::kHamming74;
+        channel::FramedProtocol both(attack, both_config);
+        const auto both_r = both.send(message);
+
+        const double residual_ber =
+            static_cast<double>(framed_r.residual_errors +
+                                both_r.residual_errors) /
+            static_cast<double>(2 * message.size());
+        return std::vector<std::string>{
+            util::Table::num(scale, 1),
+            util::Table::num(100.0 * framed_r.raw_error_rate(), 2) + "%",
+            std::to_string(coded.residual_errors),
+            util::Table::num(framed_r.goodput_mbps(config.frequency())) +
+                " Mb/s",
+            std::to_string(framed_r.retransmissions),
+            util::Table::num(both_r.goodput_mbps(config.frequency())) +
+                " Mb/s",
+            std::to_string(both_r.retransmissions),
+            util::Table::num(100.0 * residual_ber, 3) + "%"};
+      });
+  if (!result.ok()) {
+    std::printf("sweep failed: %s\n", result.report.summary().c_str());
+    return 1;
+  }
+  std::fputs(render_ablation_faults(result.rows).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+std::string render_ablation_faults(
+    const std::vector<std::vector<std::string>>& rows) {
+  util::Table table({"fault scale", "raw error", "H(7,4) residual",
+                     "framed goodput", "framed retx", "framed+H74 goodput",
+                     "framed+H74 retx", "residual BER"});
+  for (const auto& row : rows) table.add_row(row);
+  std::string out = table.render();
+  out += '\n';
+  out +=
+      "Coding alone leaves residual errors once faults cluster; framing\n"
+      "alone recovers everything but pays a retransmission per corrupted\n"
+      "frame; the inner code under the framed layer absorbs isolated flips\n"
+      "and keeps the retry budget for the bursts.\n";
+  return out;
+}
+
+void register_ablation_faults(Registry& r) {
+  ExperimentSpec spec;
+  spec.name = "ablation_faults";
+  spec.binary = "bench_ablation_faults";
+  spec.description =
+      "Recovery strategies (coded / framed / framed+coded) under scaled "
+      "fault injection";
+  spec.kind = Kind::kAblation;
+  spec.cell_count = [](const Context&) { return fault_scales().size(); };
+  spec.run = run_ablation_faults;
+  r.add(std::move(spec));
+}
+
+}  // namespace impact::lab

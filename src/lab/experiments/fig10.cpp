@@ -1,0 +1,121 @@
+// Fig. 10: side-channel attack on PiM-accelerated read mapping — leakage
+// throughput and error rate across DRAM bank counts (1024 - 8192).
+//
+// Reproduced shape: throughput falls and the error rate rises as the
+// attacker must sweep more banks (paper: 7.57 Mb/s, <5% error at 1024
+// banks -> 2.56 Mb/s, <15% at 8192), while each observation becomes more
+// precise (fewer hash-table entries per bank, §5.4).
+//
+// One cell per bank count, run through the store::CellRunner: a cell
+// renders both its table row and its CSV row (split on output), so a warm
+// run reproduces both byte-identically without simulating.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/side_channel.hpp"
+#include "lab/context.hpp"
+#include "lab/experiments.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace impact::lab {
+namespace {
+
+const std::vector<std::uint32_t>& fig10_bank_counts() {
+  static const std::vector<std::uint32_t> counts = {1024, 2048, 4096, 8192};
+  return counts;
+}
+
+int run_fig10(Context& ctx) {
+  std::printf("=== bench_fig10: read-mapping side channel vs bank count "
+              "===\n\n");
+
+  util::Table table({"banks", "probe throughput (Mb/s)", "error rate",
+                     "event capture (Mb/s)", "capture rate",
+                     "buckets/hit", "bits/observation"});
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (const auto dir = util::CsvWriter::results_dir_from_env()) {
+    csv = std::make_unique<util::CsvWriter>(
+        *dir, "fig10",
+        std::vector<std::string>{"banks", "probe_mbps", "error_rate",
+                                 "capture_mbps", "capture_rate",
+                                 "bits_per_observation"});
+  }
+
+  const std::vector<std::uint32_t>& bank_counts = fig10_bank_counts();
+  constexpr std::size_t kTableCols = 7;  // Cells 0-6: table; 7-12: CSV.
+
+  store::CellRunner& runner = ctx.runner();
+  const auto result = runner.rows(
+      "fig10.banks", bank_counts.size(),
+      [&](std::size_t i) {
+        store::Canon c;
+        c.field("cell", "fig10.read_mapping");
+        c.field("banks", bank_counts[i]);
+        return c.fingerprint();
+      },
+      [&](std::size_t i) {
+        const std::uint32_t banks = bank_counts[i];
+        attacks::SideChannelConfig config;
+        config.banks = banks;
+        attacks::ReadMappingSpy spy(config);
+        const auto r = spy.run();
+        // Table columns first, CSV columns after — one flat row so the
+        // cache record carries both renderings.
+        return std::vector<std::string>{
+            std::to_string(banks),
+            util::Table::num(r.probes.throughput_mbps(2.6)),
+            util::Table::num(100.0 * r.probes.error_rate(), 2) + "%",
+            util::Table::num(r.capture_throughput_mbps(2.6)),
+            util::Table::num(100.0 * r.capture_rate(), 1) + "%",
+            std::to_string(r.precision.entries_per_bank),
+            util::Table::num(r.precision.bits_per_observation, 1),
+            std::to_string(banks),
+            util::Table::num(r.probes.throughput_mbps(2.6), 4),
+            util::Table::num(r.probes.error_rate(), 5),
+            util::Table::num(r.capture_throughput_mbps(2.6), 4),
+            util::Table::num(r.capture_rate(), 5),
+            util::Table::num(r.precision.bits_per_observation, 2)};
+      });
+  if (!result.ok()) {
+    std::printf("sweep failed: %s\n", result.report.summary().c_str());
+    return 1;
+  }
+  for (const auto& row : result.rows) {
+    table.add_row(
+        std::vector<std::string>(row.begin(), row.begin() + kTableCols));
+    if (csv) {
+      csv->add_row(
+          std::vector<std::string>(row.begin() + kTableCols, row.end()));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper: 7.57 Mb/s @ <5%% error (1024 banks) degrading to 2.56 Mb/s @\n"
+      "<15%% error (8192 banks); precision per observation improves with\n"
+      "bank count. Probe-decision metrics reproduce the error trend; the\n"
+      "event-capture metric reproduces the throughput decline (the\n"
+      "attacker's sweep resolution collapses multiple victim accesses per\n"
+      "bank window into one observation).\n");
+  return 0;
+}
+
+}  // namespace
+
+void register_fig10(Registry& r) {
+  ExperimentSpec spec;
+  spec.name = "fig10";
+  spec.binary = "bench_fig10";
+  spec.description =
+      "Read-mapping side channel vs DRAM bank count (1024-8192): leakage "
+      "throughput and error rate";
+  spec.kind = Kind::kFigure;
+  spec.cell_count = [](const Context&) { return fig10_bank_counts().size(); };
+  spec.run = run_fig10;
+  r.add(std::move(spec));
+}
+
+}  // namespace impact::lab

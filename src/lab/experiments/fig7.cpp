@@ -1,0 +1,77 @@
+// Fig. 7: proof-of-concept validation — the latency the receiver measures
+// per bank when decoding a 16-bit message, for (a) IMPACT-PnM (one PEI per
+// bank) and (b) IMPACT-PuM (one RowClone per bank).
+//
+// The paper's receivers decode with a fixed 150-cycle threshold; ours
+// calibrate the equivalent threshold from the measured clusters (the
+// absolute scale differs with the modeled instrument overheads, the
+// bimodal separation is the reproduced property).
+#include <cstdio>
+
+#include "attacks/impact_pnm.hpp"
+#include "attacks/impact_pum.hpp"
+#include "lab/context.hpp"
+#include "lab/experiments.hpp"
+#include "sys/system.hpp"
+#include "util/bitvec.hpp"
+#include "util/table.hpp"
+
+namespace impact::lab {
+namespace {
+
+template <typename Attack>
+void run_poc(const char* label, Attack& attack,
+             const impact::util::BitVec& message) {
+  const auto result = attack.transmit(message);
+  impact::util::Table table(
+      {"bank", "bit sent", "receiver latency (cyc)", "decoded"});
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    table.add_row({std::to_string(i), message.get(i) ? "1" : "0",
+                   impact::util::Table::num(attack.last_latencies()[i], 0),
+                   result.decoded.get(i) ? "1" : "0"});
+  }
+  std::printf("--- %s (threshold %.0f cycles) ---\n%s"
+              "errors: %zu / %zu\n\n",
+              label, attack.threshold(), table.render().c_str(),
+              result.report.bit_errors(), result.report.bits_total);
+}
+
+int run_fig7(Context&) {
+  sys::SystemConfig config;
+  std::printf("=== bench_fig7: PoC receiver latencies (16-bit message) ===\n"
+              "%s\n",
+              config.describe().c_str());
+
+  const auto message = util::BitVec::from_string("0110100111000101");
+
+  {
+    sys::MemorySystem system(config);
+    attacks::ImpactPnm attack(system);
+    run_poc("(a) IMPACT-PnM: PEI per bank", attack, message);
+  }
+  {
+    sys::MemorySystem system(config);
+    attacks::ImpactPum attack(system);
+    run_poc("(b) IMPACT-PuM: RowClone per bank", attack, message);
+  }
+  std::printf("Paper: hits cluster below / conflicts above a 150-cycle\n"
+              "threshold in both variants; the complete message decodes\n"
+              "without error.\n");
+  return 0;
+}
+
+}  // namespace
+
+void register_fig7(Registry& r) {
+  ExperimentSpec spec;
+  spec.name = "fig7";
+  spec.binary = "bench_fig7";
+  spec.description =
+      "PoC receiver-latency validation: IMPACT-PnM and IMPACT-PuM decode a "
+      "16-bit message";
+  spec.kind = Kind::kFigure;
+  spec.run = run_fig7;
+  r.add(std::move(spec));
+}
+
+}  // namespace impact::lab

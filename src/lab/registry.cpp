@@ -1,0 +1,48 @@
+#include "lab/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace impact::lab {
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kFigure: return "figure";
+    case Kind::kTable: return "table";
+    case Kind::kAblation: return "ablation";
+    case Kind::kExtension: return "extension";
+    case Kind::kExample: return "example";
+    case Kind::kPerf: return "perf";
+  }
+  return "?";
+}
+
+void Registry::add(ExperimentSpec spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("experiment spec has no name");
+  }
+  if (!spec.run) {
+    throw std::invalid_argument("experiment '" + spec.name +
+                                "' has no run body");
+  }
+  if (specs_.count(spec.name) != 0) {
+    throw std::invalid_argument("duplicate experiment name '" + spec.name +
+                                "'");
+  }
+  std::string name = spec.name;
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+const ExperimentSpec* Registry::find(std::string_view name) const {
+  const auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ExperimentSpec*> Registry::all() const {
+  std::vector<const ExperimentSpec*> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(&spec);
+  return out;
+}
+
+}  // namespace impact::lab

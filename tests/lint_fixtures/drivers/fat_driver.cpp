@@ -1,0 +1,8 @@
+// Seeded violations: a driver TU reaching past the lab facade.
+#include "lab/driver.hpp"
+#include "attacks/impact_pnm.hpp"
+#include "util/rng.hpp"
+// SIMLINT-ALLOW(driver-include): sanctioned exception, for the test.
+#include "sys/system.hpp"
+
+int main() { return 0; }

@@ -1,0 +1,7 @@
+// Clean driver shim: a layerless TU whose only project include is a lab/
+// header — exactly what the driver-include rule demands.
+#include "lab/driver.hpp"
+
+int main(int argc, char** argv) {
+  return impact::lab::run_named("fig2", argc, argv);
+}

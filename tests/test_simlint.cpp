@@ -139,6 +139,55 @@ TEST(SimlintSuppression, WrongRuleNameDoesNotSuppress) {
   EXPECT_TRUE(has(simlint::kRuleLayering, "dram/wrong_allow.hpp", 6));
 }
 
+std::filesystem::path drivers_root() {
+  return std::filesystem::path(LINT_FIXTURES_DIR) / "drivers";
+}
+
+/// Separate scan of the layerless driver-fixture tree (mirrors bench/,
+/// examples/, apps/: files directly under the root).
+const std::vector<Finding>& driver_findings() {
+  static const std::vector<Finding> kFindings = [] {
+    simlint::Options options;
+    options.roots = {drivers_root()};
+    return simlint::analyze(options);
+  }();
+  return kFindings;
+}
+
+TEST(SimlintDriverInclude, NonLabIncludesFlaggedInLayerlessTUs) {
+  bool attacks_line = false;
+  bool util_line = false;
+  for (const auto& f : driver_findings()) {
+    if (f.rule != simlint::kRuleDriverInclude) continue;
+    EXPECT_EQ(f.file, "fat_driver.cpp");
+    if (f.line == 3) attacks_line = true;
+    if (f.line == 4) util_line = true;
+  }
+  EXPECT_TRUE(attacks_line);
+  EXPECT_TRUE(util_line);
+}
+
+TEST(SimlintDriverInclude, LabOnlyShimIsCleanAndAllowSuppresses) {
+  std::size_t fat = 0;
+  for (const auto& f : driver_findings()) {
+    EXPECT_NE(f.file, "shim_ok.cpp") << f.rule;
+    if (f.file == "fat_driver.cpp" &&
+        f.rule == simlint::kRuleDriverInclude) {
+      ++fat;
+      EXPECT_NE(f.line, 6);  // SIMLINT-ALLOW on the line above.
+    }
+  }
+  EXPECT_EQ(fat, 2u);  // Exactly the two seeded violations.
+}
+
+TEST(SimlintDriverInclude, LayeredFilesAreExempt) {
+  // The rule keys on layerless files; the layered src fixture tree must
+  // produce no driver-include findings at all.
+  for (const auto& f : findings()) {
+    EXPECT_NE(f.rule, simlint::kRuleDriverInclude) << f.file;
+  }
+}
+
 TEST(SimlintOptions, RulePrefixFilterSelectsFamilies) {
   simlint::Options options;
   options.roots = {fixtures_root()};

@@ -5,12 +5,14 @@
 #   tools/bench.sh --smoke   # quick run; FAILS on >20% items/sec regression
 #                            # against the committed baseline (never writes)
 #
-# Runs the two simulator perf binaries —
-#   * bench_simulator_perf   (google-benchmark microbenches, items/sec)
-#   * bench_sweep_scaling    (Fig. 11 matrix serial vs ThreadPool wall-clock,
-#                             with bit-identical-results verification)
-# — and assembles their output into BENCH_simulator.json at the repo root.
-# docs/performance.md explains how to read and refresh the file.
+# The benchmarks are discovered from the experiment registry (`impact list
+# --json`), not hardcoded: every experiment with a non-empty bench_role
+# participates —
+#   * role "micro"  — the google-benchmark microbench harness (items/sec)
+#   * any other role — a JSON-emitting perf experiment; its stdout object
+#     lands in BENCH_simulator.json under the role as key (currently
+#     sweep_scaling and bench_store)
+# docs/performance.md explains how to read and refresh the baseline file.
 #
 # Usage: tools/bench.sh [--smoke] [build-dir]     (default: build)
 set -u
@@ -37,15 +39,16 @@ BENCH_BUILD_TYPE="${IMPACT_BENCH_BUILD_TYPE:-Release}"
 echo "== impact bench: build=${BUILD_DIR} type=${BENCH_BUILD_TYPE}" \
      "smoke=${SMOKE}"
 
+# One binary carries the whole registry.
 cmake -S "${ROOT}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE="${BENCH_BUILD_TYPE}" -DIMPACT_SANITIZE="" \
   > /dev/null \
-  && cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-       --target bench_simulator_perf bench_sweep_scaling bench_store
+  && cmake --build "${BUILD_DIR}" -j "${JOBS}" --target impact_cli
 if [ $? -ne 0 ]; then
   echo "bench: build failed" >&2
   exit 1
 fi
+IMPACT="${BUILD_DIR}/apps/impact"
 
 # The build type actually configured, straight from the build tree: the
 # google-benchmark context reports the *library's* build type, which for a
@@ -64,6 +67,35 @@ BENCH_LIBRARY_TYPE="$(sed -n \
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
+# --- Discover the perf experiments from the registry --------------------
+# name + bench_role of every experiment that participates in the baseline.
+"${IMPACT}" list --json | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+for e in doc["experiments"]:
+    if e.get("bench_role"):
+        print(e["name"], e["bench_role"])
+' > "${TMP_DIR}/roles" || { echo "bench: impact list failed" >&2; exit 1; }
+
+MICRO_NAME=""
+JSON_NAMES=()
+JSON_ROLES=()
+while read -r name role; do
+  [ -z "${name}" ] && continue
+  if [ "${role}" = "micro" ]; then
+    MICRO_NAME="${name}"
+  else
+    JSON_NAMES+=("${name}")
+    JSON_ROLES+=("${role}")
+  fi
+done < "${TMP_DIR}/roles"
+if [ -z "${MICRO_NAME}" ]; then
+  echo "bench: no micro-role experiment in the registry" >&2
+  exit 1
+fi
+echo "bench: registry perf experiments: ${MICRO_NAME} (micro)" \
+     "${JSON_NAMES[*]:-}"
+
 # --- Microbenchmarks (items/sec) ----------------------------------------
 # Three repetitions, best-of taken when assembling: on a loaded machine a
 # single short run can swing well past the 20% regression threshold, and
@@ -78,13 +110,13 @@ if [ "${SMOKE}" -eq 1 ]; then
 else
   MIN_TIME=0.5
 fi
-"${BUILD_DIR}/bench/bench_simulator_perf" \
+"${IMPACT}" run "${MICRO_NAME}" \
   --benchmark_format=json \
   --benchmark_min_time=${MIN_TIME} \
   --benchmark_repetitions=3 \
   > "${TMP_DIR}/micro.json"
 if [ $? -ne 0 ]; then
-  echo "bench: bench_simulator_perf failed" >&2
+  echo "bench: ${MICRO_NAME} failed" >&2
   exit 1
 fi
 
@@ -98,51 +130,42 @@ if [ "${SMOKE}" -eq 0 ]; then
   cmake -S "${ROOT}" -B "${NOOBS_DIR}" \
     -DCMAKE_BUILD_TYPE="${BENCH_BUILD_TYPE}" -DIMPACT_SANITIZE="" \
     -DIMPACT_OBS=OFF > /dev/null \
-    && cmake --build "${NOOBS_DIR}" -j "${JOBS}" \
-         --target bench_simulator_perf
+    && cmake --build "${NOOBS_DIR}" -j "${JOBS}" --target impact_cli
   if [ $? -ne 0 ]; then
     echo "bench: obs-disabled build failed" >&2
     exit 1
   fi
-  "${NOOBS_DIR}/bench/bench_simulator_perf" \
+  "${NOOBS_DIR}/apps/impact" run "${MICRO_NAME}" \
     --benchmark_format=json \
     --benchmark_min_time=${MIN_TIME} \
     --benchmark_repetitions=3 \
     > "${TMP_DIR}/micro_noobs.json"
   if [ $? -ne 0 ]; then
-    echo "bench: obs-disabled bench_simulator_perf failed" >&2
+    echo "bench: obs-disabled ${MICRO_NAME} failed" >&2
     exit 1
   fi
 fi
 
-# --- Sweep scaling (serial vs parallel wall-clock) ----------------------
-SWEEP_ARGS=()
+# --- JSON-emitting perf experiments (sweep_scaling, bench_store, ...) ---
+# Each prints one JSON object to stdout and exits nonzero on any internal
+# bit-identity violation; the object is stored under its role as key.
+RUN_ARGS=()
 if [ "${SMOKE}" -eq 1 ]; then
-  SWEEP_ARGS+=(--smoke)
+  RUN_ARGS+=(--smoke)
 fi
-"${BUILD_DIR}/bench/bench_sweep_scaling" "${SWEEP_ARGS[@]}" \
-  > "${TMP_DIR}/sweep.json"
-if [ $? -ne 0 ]; then
-  echo "bench: bench_sweep_scaling failed (cells not bit-identical?)" >&2
-  exit 1
-fi
-
-# --- Experiment-cache effectiveness (bench_store) -----------------------
-# Cold-vs-warm Fig. 11 grid through the store::ResultCache, with
-# bit-identity checks; the binary exits nonzero on any warm/cold mismatch.
-STORE_ARGS=()
-if [ "${SMOKE}" -eq 1 ]; then
-  STORE_ARGS+=(--smoke)
-fi
-"${BUILD_DIR}/bench/bench_store" "${STORE_ARGS[@]}" \
-  > "${TMP_DIR}/store.json"
-if [ $? -ne 0 ]; then
-  echo "bench: bench_store failed (warm results not bit-identical?)" >&2
-  exit 1
-fi
+for i in "${!JSON_NAMES[@]}"; do
+  name="${JSON_NAMES[$i]}"
+  role="${JSON_ROLES[$i]}"
+  "${IMPACT}" run "${name}" "${RUN_ARGS[@]}" > "${TMP_DIR}/${role}.json"
+  if [ $? -ne 0 ]; then
+    echo "bench: ${name} failed (results not bit-identical?)" >&2
+    exit 1
+  fi
+done
 
 # --- Assemble / compare -------------------------------------------------
 SMOKE=${SMOKE} TMP_DIR=${TMP_DIR} BASELINE=${BASELINE} \
+JSON_ROLES="${JSON_ROLES[*]:-}" \
 BUILD_TYPE_RECORDED=${BUILD_TYPE_RECORDED} \
 BENCH_LIBRARY_TYPE=${BENCH_LIBRARY_TYPE} \
 ALLOW_DEBUG_LIBRARY=${IMPACT_BENCH_ALLOW_DEBUG_LIBRARY:-0} python3 - <<'EOF'
@@ -154,13 +177,16 @@ tmp = os.environ["TMP_DIR"]
 smoke = os.environ["SMOKE"] == "1"
 baseline_path = os.environ["BASELINE"]
 build_type = os.environ["BUILD_TYPE_RECORDED"].strip().lower()
+roles = os.environ["JSON_ROLES"].split()
 
 with open(os.path.join(tmp, "micro.json")) as f:
     micro = json.load(f)
-with open(os.path.join(tmp, "sweep.json")) as f:
-    sweep = json.load(f)
-with open(os.path.join(tmp, "store.json")) as f:
-    store = json.load(f)
+role_results = {}
+for role in roles:
+    with open(os.path.join(tmp, role + ".json")) as f:
+        role_results[role] = json.load(f)
+sweep = role_results.get("sweep_scaling", {})
+store = role_results.get("bench_store", {})
 
 # Library flavor: prefer the configure-time detection; older build trees
 # without the cache variable fall back to what the benchmark runtime says.
@@ -175,15 +201,16 @@ if not library_type:
 # re-derive here from the benchmark context as a belt-and-braces check so
 # the committed baseline can never present a 1-CPU "speedup" as headline.
 num_cpus = micro.get("context", {}).get("num_cpus", 0)
-if num_cpus <= 1:
-    sweep["scaling_valid"] = False
-if not sweep.get("scaling_valid", False):
-    sweep["headline_speedup"] = None
-    print(f"bench: sweep_scaling measured on {num_cpus} CPU(s) — "
-          f"speedup {sweep.get('speedup', 0.0):.2f}x recorded as "
-          "scaling_valid=false (not a headline number)", file=sys.stderr)
-else:
-    sweep["headline_speedup"] = sweep.get("speedup")
+if sweep:
+    if num_cpus <= 1:
+        sweep["scaling_valid"] = False
+    if not sweep.get("scaling_valid", False):
+        sweep["headline_speedup"] = None
+        print(f"bench: sweep_scaling measured on {num_cpus} CPU(s) — "
+              f"speedup {sweep.get('speedup', 0.0):.2f}x recorded as "
+              "scaling_valid=false (not a headline number)", file=sys.stderr)
+    else:
+        sweep["headline_speedup"] = sweep.get("speedup")
 micro_noobs = None
 noobs_path = os.path.join(tmp, "micro_noobs.json")
 if os.path.exists(noobs_path):
@@ -204,9 +231,8 @@ result = {
         "benchmark_library_build_type": library_type,
     },
     "benchmarks": {},
-    "sweep_scaling": sweep,
-    "bench_store": store,
 }
+result.update(role_results)
 
 # Best-of across the repetitions (aggregate rows are skipped; the name
 # suffixes cover benchmark-library versions without run_type).
@@ -312,30 +338,32 @@ for name, entry in baseline.get("benchmarks", {}).items():
     print(f"bench: {name}: {cur_ips / 1e6:.2f} M/s vs baseline "
           f"{base_ips / 1e6:.2f} M/s ({ratio:.2f}x) {verdict}")
 
-if not sweep.get("cells_identical", False):
+if sweep and not sweep.get("cells_identical", False):
     print("bench: sweep cells not bit-identical", file=sys.stderr)
     failed = True
 
 # Experiment-cache gate: warm results must be bit-identical to cold, and
 # (outside the verify mode, which re-simulates every hit by design) a warm
 # grid must actually hit the cache and beat a cold one by >=10x.
-if not store.get("cells_identical", False):
-    print("bench: store warm cells not bit-identical to cold",
-          file=sys.stderr)
-    failed = True
-if not store.get("verify", False):
-    if store.get("hit_rate", 0.0) <= 0.0:
-        print("bench: store warm run recorded no cache hits",
+if store:
+    if not store.get("cells_identical", False):
+        print("bench: store warm cells not bit-identical to cold",
               file=sys.stderr)
         failed = True
-    if store.get("speedup", 0.0) < 10.0:
-        print(f"bench: store warm speedup {store.get('speedup', 0.0):.1f}x "
-              "below the 10x floor", file=sys.stderr)
-        failed = True
-    else:
-        print(f"bench: store warm replay {store.get('speedup', 0.0):.0f}x "
-              f"faster than cold (hit rate "
-              f"{100.0 * store.get('hit_rate', 0.0):.0f}%)")
+    if not store.get("verify", False):
+        if store.get("hit_rate", 0.0) <= 0.0:
+            print("bench: store warm run recorded no cache hits",
+                  file=sys.stderr)
+            failed = True
+        if store.get("speedup", 0.0) < 10.0:
+            print(f"bench: store warm speedup "
+                  f"{store.get('speedup', 0.0):.1f}x below the 10x floor",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"bench: store warm replay "
+                  f"{store.get('speedup', 0.0):.0f}x faster than cold "
+                  f"(hit rate {100.0 * store.get('hit_rate', 0.0):.0f}%)")
 
 sys.exit(1 if failed else 0)
 EOF

@@ -3,8 +3,9 @@
 #
 #   0. simlint (tools/simlint): layering, determinism, concurrency, seam,
 #      and hot-path invariants over src/ against the committed baseline,
-#      plus the determinism rules over bench/ and examples/ — the cheapest
-#      stage, so it runs first (docs/static-analysis.md),
+#      plus the determinism + driver-include rules over bench/, examples/,
+#      and apps/ (driver TUs must be thin shims over src/lab/) — the
+#      cheapest stage, so it runs first (docs/static-analysis.md),
 #   1. clang-tidy over src/ (.clang-tidy profile, warnings-as-errors),
 #   2. an ASan+UBSan build with -Werror of every target,
 #   3. the full ctest suite under the sanitizers with IMPACT_CHECK=1,
@@ -24,6 +25,10 @@
 #      store + IMPACT_JOURNAL, then re-invoked; the resumed run must be
 #      byte-identical to an uninterrupted reference (docs/robustness.md,
 #      "Checkpoint/resume"),
+#   6c. experiment registry: `impact list` must enumerate a non-empty
+#      registry, `impact describe` must resolve a spec, and `impact run`
+#      must be byte-identical to the corresponding thin-shim binaries
+#      (docs/experiments-registry.md),
 #   7. tools/bench.sh --smoke: fails on >20% items/sec regression against
 #      the committed BENCH_simulator.json baseline.
 #
@@ -68,8 +73,8 @@ if [ $rc -eq 0 ]; then
       --root "${ROOT}/src" \
       --baseline "${ROOT}/tools/simlint/baseline.txt" \
   && "${TIDY_DIR}/tools/simlint/simlint" \
-      --root "${ROOT}/bench" --root "${ROOT}/examples" \
-      --rules "nondet-seed,nondet-random-device,nondet-rand,global-state,thread-local"
+      --root "${ROOT}/bench" --root "${ROOT}/examples" --root "${ROOT}/apps" \
+      --rules "nondet-seed,nondet-random-device,nondet-rand,global-state,thread-local,driver-include"
   rc=$?
 fi
 stage lint $rc
@@ -296,6 +301,47 @@ else
   echo "resume: skipped (sanitizer build failed)" >&2
 fi
 
+# --- Stage 6c: experiment registry (impact CLI vs thin shims) -----------
+# The registry is the single source of truth for every driver; the shims
+# and `impact run` must be two routes to the same experiment. Byte-compare
+# one bench driver and one example through both routes (IMPACT_THREADS
+# pinned: headers print the worker count), and exercise list/describe.
+if [ "${STATUS[sanitizer-build]}" = "PASS" ]; then
+  IMPACT_BIN="${BUILD_DIR}/apps/impact"
+  LAB_TMP="$(mktemp -d)"
+  rc=0
+  "${IMPACT_BIN}" list > "${LAB_TMP}/list.txt" || rc=1
+  if [ $rc -eq 0 ] && [ "$(wc -l < "${LAB_TMP}/list.txt")" -lt 26 ]; then
+    echo "lab: impact list enumerated fewer than 26 experiments" >&2
+    rc=1
+  fi
+  if [ $rc -eq 0 ]; then
+    "${IMPACT_BIN}" describe fig11 > /dev/null || rc=1
+  fi
+  for pair in "rowbuffer:bench/bench_rowbuffer" \
+              "rowclone_bulk_copy:examples/rowclone_bulk_copy"; do
+    [ $rc -eq 0 ] || break
+    name="${pair%%:*}"
+    shim="${pair#*:}"
+    IMPACT_THREADS=2 "${IMPACT_BIN}" run "${name}" --smoke \
+      > "${LAB_TMP}/cli.txt" 2> /dev/null || rc=1
+    IMPACT_THREADS=2 "${BUILD_DIR}/${shim}" --smoke \
+      > "${LAB_TMP}/shim.txt" 2> /dev/null || rc=1
+    if [ $rc -eq 0 ] \
+        && ! cmp -s "${LAB_TMP}/cli.txt" "${LAB_TMP}/shim.txt"; then
+      echo "lab: impact run ${name} differs from ${shim}" >&2
+      diff "${LAB_TMP}/cli.txt" "${LAB_TMP}/shim.txt" | head -20 >&2
+      rc=1
+    fi
+  done
+  [ $rc -eq 0 ] && echo "lab: list/describe ok; impact run byte-identical" \
+    "to shim binaries"
+  rm -rf "${LAB_TMP}"
+  stage lab $rc
+else
+  echo "lab: skipped (sanitizer build failed)" >&2
+fi
+
 # --- Stage 7: benchmark smoke (throughput regression gate) --------------
 # Covers every microbench in BENCH_simulator.json; BM_AccessBatch and
 # BM_MultiprogReplay (the batch-kernel benches) are additionally required
@@ -311,7 +357,7 @@ stage bench-smoke $?
 echo
 echo "== check summary"
 for s in lint clang-tidy sanitizer-build ctest fault tsan-exec obs store \
-         resume bench-smoke; do
+         resume lab bench-smoke; do
   printf '   %-16s %s\n' "$s" "${STATUS[$s]:-SKIP}"
 done
 exit $FAILED

@@ -65,7 +65,7 @@ const std::map<std::string, int>& layer_ranks() {
       {"util", 0},  {"model", 1},   {"dram", 2},     {"cache", 3},
       {"sys", 3},   {"pim", 4},     {"channel", 5},  {"attacks", 6},
       {"defense", 6}, {"genomics", 6}, {"graph", 7},  {"exec", 8},
-      {"store", 9},  {"resil", 10},
+      {"store", 9},  {"resil", 10},  {"lab", 11},
   };
   return kRanks;
 }
@@ -792,6 +792,27 @@ void check_layering(const std::vector<FileScan>& files,
   }
 }
 
+/// Driver TUs — files directly under a scan root, hence layerless (the
+/// bench/, examples/, and apps/ trees) — must stay thin shims over the
+/// experiment registry: the only project headers they may include are
+/// lab/ ones. Only quoted includes are recorded, so the standard library
+/// passes untouched; any other project header means experiment logic is
+/// growing back into a driver instead of src/lab/experiments/.
+void check_driver_includes(const std::vector<FileScan>& files,
+                           std::vector<Finding>& out) {
+  for (const auto& f : files) {
+    if (!f.layer.empty()) continue;
+    Emitter em{f, out};
+    for (const auto& inc : f.includes) {
+      if (inc.target.rfind("lab/", 0) == 0) continue;
+      em.emit(kRuleDriverInclude, inc.line,
+              "driver TU includes '" + inc.target + "' — drivers are thin "
+              "shims over the experiment registry; include only lab/ "
+              "headers and move the logic into src/lab/experiments/");
+    }
+  }
+}
+
 void check_cycles(const std::vector<FileScan>& files, const IncludeGraph& graph,
                   std::vector<Finding>& out) {
   std::map<std::string, const FileScan*> by_rel;
@@ -913,6 +934,7 @@ std::vector<Finding> analyze(const Options& options) {
 
   std::vector<Finding> out;
   check_layering(files, graph, out);
+  check_driver_includes(files, out);
   check_cycles(files, graph, out);
   for (const auto& f : files) {
     Emitter em{f, out};

@@ -45,6 +45,7 @@ inline constexpr const char* kRuleUnboundedWait = "unbounded-wait";
 inline constexpr const char* kRuleHotString = "hot-string";
 inline constexpr const char* kRuleHotEndl = "hot-endl";
 inline constexpr const char* kRuleHotResolve = "hot-resolve";
+inline constexpr const char* kRuleDriverInclude = "driver-include";
 
 /// One diagnostic. `id` is stable across unrelated edits: it hashes the
 /// rule, the path relative to the scan root, and the *text* of the
